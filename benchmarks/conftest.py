@@ -1,0 +1,36 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one artifact of the paper's evaluation (Figures
+3-8, the Theorem 1 configuration, and the §V-B2 overhead micro-benchmarks),
+prints the series the figure plots next to the paper's reported values, and
+asserts the qualitative shape.
+
+``REPRO_BENCH_SCALE`` scales simulated durations: 1.0 (default) runs the
+full-fidelity experiments; smaller values (e.g. 0.3) run faster
+sanity-level sweeps with the same shapes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def _scale() -> float:
+    try:
+        value = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+    return min(max(value, 0.05), 4.0)
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return _scale()
+
+
+@pytest.fixture(scope="session")
+def duration(scale: float) -> float:
+    """Measured duration for the steady-state sweeps (paper-scale: 30 s)."""
+    return 30.0 * scale

@@ -1,0 +1,25 @@
+"""Harness throughput — how fast the full column simulates.
+
+Not a paper figure; this tracks the reproduction's own performance (events
+per simulated second across database, channel, cache, clients and monitor)
+so regressions in the substrate show up in benchmark history.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ColumnConfig
+from repro.experiments.runner import run_column
+from repro.workloads.synthetic import ParetoClusterWorkload
+
+
+def test_column_throughput(benchmark):
+    workload = ParetoClusterWorkload(n_objects=2000, cluster_size=5, alpha=1.0)
+    config = ColumnConfig(seed=21, duration=8.0, warmup=2.0)
+
+    result = benchmark.pedantic(
+        lambda: run_column(config, workload), rounds=1, iterations=1
+    )
+    total_txns = result.counts.total + result.db_stats.total_transactions
+    print(f"\nsimulated {config.total_time}s: {total_txns} transactions, "
+          f"{result.cache_stats.reads} cache reads")
+    assert result.counts.total > 2000

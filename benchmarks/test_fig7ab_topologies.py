@@ -1,0 +1,52 @@
+"""Figure 7(a)/(b) — the realistic topologies.
+
+The paper displays 500-node down-samples of the Amazon co-purchase and
+Orkut friendship graphs: "The graphs are visibly clustered, the Amazon
+topology more so than the Orkut one, yet well-connected." This benchmark
+builds both stand-in parents, runs the paper's random-walk down-sampling
+(15 % restart) to 1000 nodes and to the display size of 500, and reports
+the structural statistics the substitution must preserve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.realistic import sampled_topology
+from repro.experiments.report import format_table
+from repro.workloads.graphs import topology_stats
+from repro.workloads.sampling import random_walk_sample
+
+PAPER_NOTES = (
+    "paper Fig. 7ab: both samples visibly clustered and well-connected,\n"
+    "Amazon markedly more clustered than Orkut"
+)
+
+
+def build_rows():
+    rows = []
+    for name in ("amazon", "orkut"):
+        sample_1000 = sampled_topology(name)
+        rows.append({"workload": name, "nodes_target": 1000,
+                     **topology_stats(sample_1000).as_row()})
+        display = random_walk_sample(sample_1000, 500, np.random.default_rng(5))
+        rows.append({"workload": name, "nodes_target": 500,
+                     **topology_stats(display).as_row()})
+    return rows
+
+
+def test_fig7ab_topologies(benchmark):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Figure 7ab: topology statistics"))
+    print(PAPER_NOTES)
+
+    by_key = {(row["workload"], row["nodes_target"]): row for row in rows}
+    for target in (1000, 500):
+        amazon = by_key[("amazon", target)]
+        orkut = by_key[("orkut", target)]
+        assert amazon["mean_clustering"] > 3 * orkut["mean_clustering"]
+        assert amazon["mean_clustering"] > 0.4          # visibly clustered
+        assert orkut["mean_clustering"] > 0.01           # still clustered
+        assert amazon["components"] <= 3                 # well-connected
+        assert orkut["components"] <= 3

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Adaptivity demo: T-Cache tracks changing cluster structure (§V-A3).
+
+Reproduces the dynamics of the paper's Figures 4 and 5 in one run: the
+workload starts uniform (dependency lists useless), snaps into perfect
+clusters mid-run (detection converges within seconds), and then the
+clusters start drifting (each shift causes a brief inconsistency spike
+that LRU-maintained dependency lists absorb).
+
+Run:  python examples/adaptive_clusters.py
+"""
+
+from repro import (
+    ColumnConfig,
+    DriftingClusterWorkload,
+    PerfectClusterWorkload,
+    PhaseSwitchWorkload,
+    Strategy,
+    UniformWorkload,
+    run_column,
+)
+from repro.experiments.report import format_table
+
+
+class ThreePhaseWorkload:
+    """uniform -> perfectly clustered -> drifting clusters."""
+
+    def __init__(self, n_objects: int, t_cluster: float, t_drift: float,
+                 drift_interval: float) -> None:
+        self._uniform = UniformWorkload(n_objects)
+        self._clustered = PerfectClusterWorkload(n_objects, cluster_size=5)
+        self._drifting = DriftingClusterWorkload(
+            n_objects, cluster_size=5, shift_interval=drift_interval
+        )
+        self.t_cluster = t_cluster
+        self.t_drift = t_drift
+
+    def access_set(self, rng, now):
+        if now < self.t_cluster:
+            return self._uniform.access_set(rng, now)
+        if now < self.t_drift:
+            return self._clustered.access_set(rng, now)
+        return self._drifting.access_set(rng, now - self.t_drift)
+
+    def all_keys(self):
+        return self._uniform.all_keys()
+
+
+def main() -> None:
+    workload = ThreePhaseWorkload(
+        n_objects=1000, t_cluster=30.0, t_drift=70.0, drift_interval=20.0
+    )
+    config = ColumnConfig(
+        seed=23, duration=130.0, warmup=0.0,
+        deplist_max=5, strategy=Strategy.ABORT, monitor_window=5.0,
+    )
+    print("simulating 130s: uniform (0-30s) -> clustered (30-70s) -> "
+          "drifting every 20s (70s+)...\n")
+    result = run_column(config, workload)
+
+    rows = [
+        {
+            "window": f"{row['time']:.0f}s",
+            "consistent/s": round(row["consistent"], 1),
+            "inconsistent/s": round(row["inconsistent"], 1),
+            "aborted/s": round(
+                row["aborted_necessary"] + row["aborted_unnecessary"], 1
+            ),
+            "inconsistency": f"{row['inconsistency_ratio']:.1%}",
+        }
+        for row in result.series
+    ]
+    print(format_table(rows, title="per-5s-window classification rates"))
+    print()
+    print("phase 1 (0-30s):  uniform access, dependency lists useless —")
+    print("                  inconsistencies slip through, few aborts")
+    print("phase 2 (30-70s): clusters form; detection converges within")
+    print("                  seconds (paper Fig. 4)")
+    print("phase 3 (70s+):   clusters drift; each 20s shift causes a brief")
+    print("                  spike that converges back (paper Fig. 5)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Capacity planning: tune the dependency-list bound for *your* workload.
+
+§III: "we require the developer to tune the length so that the frequency of
+errors is reduced to an acceptable level, reasoning about the trade-off
+(size versus accuracy) ... Intuitively, dependency lists should be roughly
+the same size as the size of the workload's clusters."
+
+This example shows the tuning loop this library supports:
+
+1. build a production-like workload (here: mixed cluster sizes, the §VII
+   scenario where one global k cannot fit both);
+2. replay identical access sequences (fixed seeds) across candidate k
+   values and read off the inconsistency/overhead trade-off;
+3. profile staleness with the analysis probe to understand what the
+   remaining inconsistencies are made of;
+4. apply the §VII per-object overrides for the large-cluster objects and
+   measure the win at unchanged average space.
+
+(For replaying *captured* traces across configurations — e.g. from a
+production log — see ``repro.workloads.trace``.)
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import ColumnConfig, Strategy
+from repro.experiments.report import format_table
+from repro.experiments.runner import build_column, collect_result
+from repro.monitor.analysis import StalenessProbe
+from repro.workloads.base import key_for
+from repro.workloads.synthetic import PerfectClusterWorkload
+
+
+class MixedClusterWorkload:
+    """Half the objects live in clusters of 4, half in clusters of 8."""
+
+    def __init__(self, n_objects: int = 800) -> None:
+        half = n_objects // 2
+        self.small = PerfectClusterWorkload(half, cluster_size=4, txn_size=4)
+        self.large = PerfectClusterWorkload(half, cluster_size=8, txn_size=8)
+        self._large_offset = half
+        self.n_objects = n_objects
+
+    def access_set(self, rng, now):
+        if rng.random() < 0.5:
+            return self.small.access_set(rng, now)
+        shifted = self.large.access_set(rng, now)
+        return [key_for(int(key[1:]) + self._large_offset) for key in shifted]
+
+    def all_keys(self):
+        return [key_for(i) for i in range(self.n_objects)]
+
+    def large_cluster_keys(self):
+        return [key_for(i + self._large_offset) for i in range(self.n_objects // 2)]
+
+
+def run_once(workload, k: int, *, overrides: bool = False):
+    config = ColumnConfig(
+        seed=51, duration=15.0, warmup=5.0, deplist_max=k, strategy=Strategy.ABORT
+    )
+    column = build_column(config, workload)
+    if overrides:
+        # Spend the budget unevenly: small-cluster objects need only k=3,
+        # large-cluster objects get k=7 (same average as k=5 everywhere).
+        for key in workload.all_keys():
+            column.database.set_deplist_bound(key, 3)
+        for key in workload.large_cluster_keys():
+            column.database.set_deplist_bound(key, 7)
+    probe = StalenessProbe()
+    column.database.add_commit_listener(probe.record_update)
+    column.cache.add_transaction_listener(probe.record_read_only)
+    column.sim.run(until=config.total_time)
+    return collect_result(column), probe.report()
+
+
+def main() -> None:
+    workload = MixedClusterWorkload()
+
+    print("step 1-2: sweep the global dependency-list bound k\n")
+    rows = []
+    for k in (1, 3, 5, 7):
+        result, report = run_once(workload, k)
+        rows.append(
+            {
+                "k": k,
+                "detection": f"{result.detection_ratio:.1%}",
+                "inconsistency": f"{result.inconsistency_ratio:.2%}",
+                "stale reads": f"{report.stale_ratio:.2%}",
+                "shallow staleness": f"{report.shallow_fraction:.0%}",
+            }
+        )
+    print(format_table(rows, title="global bound sweep (mixed 4/8 clusters)"))
+    print("\nk=3 covers the small clusters; the large clusters need k=7 —")
+    print("exactly the §VII observation that one global bound wastes space.\n")
+
+    print("step 3-4: per-object overrides (small->3, large->7; avg = 5)\n")
+    uniform5, _ = run_once(workload, 5)
+    tuned, report = run_once(workload, 5, overrides=True)
+    comparison = [
+        {
+            "configuration": "global k=5",
+            "detection": f"{uniform5.detection_ratio:.1%}",
+            "inconsistency": f"{uniform5.inconsistency_ratio:.2%}",
+        },
+        {
+            "configuration": "per-object 3/7 (same avg)",
+            "detection": f"{tuned.detection_ratio:.1%}",
+            "inconsistency": f"{tuned.inconsistency_ratio:.2%}",
+        },
+    ]
+    print(format_table(comparison, title="same space budget, spent unevenly"))
+    if tuned.detection_ratio >= uniform5.detection_ratio:
+        print("\nthe uneven split matches or beats the uniform bound at the")
+        print("same average list length (§VII's dynamic-sizing motivation).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Online retailer scenario: the toy train and its tracks (§II).
+
+"Consider a buyer at an online site who looks for a toy train with its
+matching tracks just as the vendor is adding them to the database. The
+client may see only the train in stock but not the tracks because the
+product insertion transaction would often be broken into two or more atomic
+but independent sub-transactions."
+
+Part 1 replays that anomaly step by step against a consistency-unaware
+cache, then shows T-Cache detecting it from the dependency lists alone.
+Part 2 runs the paper's Amazon-workload experiment (random walks over a
+co-purchase-like topology) and compares dependency-list sizes.
+
+Run:  python examples/online_retailer.py
+"""
+
+from repro import (
+    CacheServer,
+    ColumnConfig,
+    Database,
+    DatabaseConfig,
+    InconsistencyDetected,
+    Simulator,
+    Strategy,
+    TCache,
+    TimingConfig,
+    run_column,
+)
+from repro.experiments.realistic import realistic_workload
+from repro.experiments.report import format_table
+
+
+def part1_anomaly() -> None:
+    print("=" * 72)
+    print("Part 1: the toy-train anomaly, step by step")
+    print("=" * 72)
+
+    sim = Simulator()
+    db = Database(sim, DatabaseConfig(deplist_max=5, timing=TimingConfig(0, 0, 0, 0)))
+    db.load({"stock:train": 0, "stock:tracks": 0})
+
+    plain = CacheServer(sim, db, name="plain-cache")
+    tcache = TCache(sim, db, strategy=Strategy.RETRY, name="t-cache")
+
+    # Both caches warm up on the initial (version 0) stock.
+    plain.read(1, "stock:train", last_op=True)
+    tcache.read(1, "stock:train", last_op=True)
+
+    # The vendor restocks train AND tracks in one transaction...
+    process = db.execute_update(
+        read_keys=["stock:train", "stock:tracks"],
+        writes={"stock:train": 25, "stock:tracks": 100},
+    )
+    sim.run()
+    assert process.ok
+    print("vendor committed: train=25, tracks=100 (one transaction)")
+    print("invalidation for 'stock:train' was LOST (the 20% pathology)\n")
+    # ...but the caches only hear about the tracks.
+    from repro.db.invalidation import InvalidationRecord
+
+    record = InvalidationRecord(
+        key="stock:tracks", version=process.value.txn_id,
+        txn_id=process.value.txn_id, commit_time=sim.now,
+    )
+    plain.handle_invalidation(record)
+    tcache.handle_invalidation(record)
+
+    # A buyer checks both items through the PLAIN cache.
+    tracks = plain.read(2, "stock:tracks")
+    train = plain.read(2, "stock:train", last_op=True)
+    print(f"plain cache:  tracks={tracks.value} (fresh), train={train.value} (STALE)")
+    print("  -> the buyer sees new tracks but the old train count: torn read\n")
+
+    # The same purchase through T-CACHE (RETRY strategy).
+    tracks = tcache.read(2, "stock:tracks")
+    try:
+        train = tcache.read(2, "stock:train", last_op=True)
+        print(f"t-cache:      tracks={tracks.value}, train={train.value}"
+              f"{' (repaired by read-through)' if train.retried else ''}")
+        print("  -> the tracks' dependency list demanded the newer train version;")
+        print("     RETRY treated the stale hit as a miss and served fresh data")
+    except InconsistencyDetected as error:
+        print(f"t-cache aborted the read: {error}")
+    print()
+
+
+def part2_workload() -> None:
+    print("=" * 72)
+    print("Part 2: the co-purchase workload (paper §V-B)")
+    print("=" * 72)
+    workload = realistic_workload("amazon")
+    rows = []
+    for k in (0, 1, 3, 5):
+        config = ColumnConfig(
+            seed=11, duration=12.0, warmup=4.0,
+            deplist_max=k, strategy=Strategy.RETRY,
+        )
+        result = run_column(config, workload)
+        rows.append(
+            {
+                "deplist k": k,
+                "inconsistency": f"{result.inconsistency_ratio:.2%}",
+                "hit ratio": f"{result.hit_ratio:.2%}",
+                "db reads/s": f"{result.db_access_rate:.0f}",
+            }
+        )
+    print(format_table(rows, title="retailer workload: inconsistency vs k (RETRY)"))
+    print("\nlonger dependency lists detect and repair more stale reads at")
+    print("nearly no cost in hit ratio or backend load (paper Fig. 7c).")
+
+
+if __name__ == "__main__":
+    part1_anomaly()
+    part2_workload()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: run a full T-Cache column in a few lines.
+
+Builds the paper's Figure 2 setup — a transactional database with two-phase
+commit, a lossy asynchronous invalidation channel (20 % drops), a T-Cache
+edge server, open-loop update clients (100 txn/s) and read-only clients
+(500 txn/s) — runs it for half a simulated minute, and reports what the
+consistency monitor saw.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ColumnConfig,
+    PerfectClusterWorkload,
+    Strategy,
+    run_column,
+)
+
+
+def main() -> None:
+    # 1000 objects in clusters of 5: the paper's "perfectly clustered"
+    # regime, where T-Cache with k=5 detects *every* inconsistency.
+    workload = PerfectClusterWorkload(n_objects=1000, cluster_size=5)
+
+    config = ColumnConfig(
+        seed=7,
+        duration=30.0,          # measured simulated seconds
+        warmup=5.0,             # cache fill, excluded from metrics
+        deplist_max=5,          # the paper's k
+        strategy=Strategy.EVICT,
+        invalidation_loss=0.2,  # §IV: 20 % of invalidations dropped
+    )
+
+    print("running a 35s simulated column (single cache, single database)...")
+    result = run_column(config, workload)
+
+    counts = result.counts
+    print()
+    print(f"read-only transactions:   {counts.total}")
+    print(f"  committed consistent:   {counts.consistent}")
+    print(f"  committed inconsistent: {counts.inconsistent}")
+    print(f"  aborted (necessary):    {counts.aborted_necessary}")
+    print(f"  aborted (unnecessary):  {counts.aborted_unnecessary}")
+    print()
+    print(f"inconsistency ratio:      {result.inconsistency_ratio:.2%}")
+    print(f"detection ratio:          {result.detection_ratio:.2%}")
+    print(f"cache hit ratio:          {result.hit_ratio:.2%}")
+    print(f"invalidations dropped:    {result.channel_stats.dropped} "
+          f"of {result.channel_stats.sent} "
+          f"({result.channel_stats.loss_ratio:.0%})")
+    print(f"update transactions:      {result.db_stats.committed}")
+    print()
+    if counts.inconsistent == 0:
+        print("zero inconsistent commits: with stable clusters the size of its")
+        print("dependency lists, T-Cache converges to perfect detection (§V-A3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Web album scenario: access-control lists and photos (§II).
+
+"Web albums maintain picture data and access control lists (ACLs) and it is
+important that ACL and album updates are consistent (the classical example
+involves removing one's boss from the album ACL and then adding unflattering
+pictures)."
+
+The dangerous interleaving: the album owner removes the boss from the ACL
+and adds photos in one transaction; the boss's photo-viewer session reads a
+*stale cached ACL* (still listing the boss) together with the *fresh photo
+list* — exactly the mix that leaks the new photos. A plain edge cache serves
+it; T-Cache detects the dependency violation and refuses.
+
+Run:  python examples/web_album_acl.py
+"""
+
+from repro import (
+    CacheServer,
+    Database,
+    DatabaseConfig,
+    InconsistencyDetected,
+    Simulator,
+    Strategy,
+    TCache,
+    TimingConfig,
+)
+from repro.db.invalidation import InvalidationRecord
+
+
+def build_column():
+    sim = Simulator()
+    db = Database(sim, DatabaseConfig(deplist_max=5, timing=TimingConfig(0, 0, 0, 0)))
+    db.load({
+        "album:acl": ["owner", "boss"],
+        "album:photos": ["beach.jpg"],
+    })
+    return sim, db
+
+
+def viewer_session(cache, txn_id):
+    """The boss's viewer: read the ACL, then the photos."""
+    acl = cache.read(txn_id, "album:acl")
+    photos = cache.read(txn_id, "album:photos", last_op=True)
+    return acl.value, photos.value
+
+
+def main() -> None:
+    sim, db = build_column()
+    plain = CacheServer(sim, db, name="plain")
+    tcache = TCache(sim, db, strategy=Strategy.EVICT, name="t-cache")
+
+    # Both caches have served the album before: ACL and photos are cached.
+    for cache in (plain, tcache):
+        viewer_session(cache, txn_id=1)
+
+    # The owner removes the boss and adds party photos — one transaction.
+    process = db.execute_update(
+        read_keys=["album:acl", "album:photos"],
+        writes={
+            "album:acl": ["owner"],
+            "album:photos": ["beach.jpg", "party1.jpg", "party2.jpg"],
+        },
+    )
+    sim.run()
+    assert process.ok
+    version = process.value.txn_id
+    print("owner committed: boss removed from ACL + party photos added")
+
+    # The photo-list invalidation arrives; the ACL one is lost.
+    record = InvalidationRecord("album:photos", version, version, sim.now)
+    plain.handle_invalidation(record)
+    tcache.handle_invalidation(record)
+    print("invalidation for 'album:acl' was LOST -> caches hold a stale ACL\n")
+
+    # --- Plain cache: the leak ---------------------------------------
+    acl, photos = viewer_session(plain, txn_id=2)
+    print(f"plain cache served: acl={acl}, photos={photos}")
+    if "boss" in acl and "party1.jpg" in photos:
+        print("  -> LEAK: the boss passes the stale ACL check and sees the")
+        print("     fresh party photos.\n")
+
+    # --- T-Cache: the save -------------------------------------------
+    try:
+        acl, photos = viewer_session(tcache, txn_id=2)
+        print(f"t-cache served: acl={acl}, photos={photos}")
+    except InconsistencyDetected as error:
+        print("t-cache ABORTED the viewer session:")
+        print(f"  {error}")
+        print("  -> the fresh photo list's dependency list demands the newer")
+        print("     ACL version; the stale ACL was evicted (EVICT strategy).")
+
+    # After the eviction, the next session reads a coherent album.
+    acl, photos = viewer_session(tcache, txn_id=3)
+    print(f"\nnext session (post-eviction): acl={acl}, photos={photos}")
+    if "boss" not in acl:
+        print("  -> coherent: the boss is gone before the photos are visible.")
+
+
+if __name__ == "__main__":
+    main()

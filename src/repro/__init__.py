@@ -1,0 +1,100 @@
+"""T-Cache: cache serializability for edge transactions.
+
+A full reproduction of *"Cache Serializability: Reducing Inconsistency in
+Edge Transactions"* (Eyal, Birman, van Renesse — ICDCS 2015): the T-Cache
+protocol, the transactional two-phase-commit backend it runs against, the
+lossy invalidation pipeline, the serialization-graph consistency monitor,
+and every workload and experiment from the paper's evaluation.
+
+Quickstart::
+
+    from repro import (
+        CacheKind, ColumnConfig, PerfectClusterWorkload, Strategy, run_column,
+    )
+
+    workload = PerfectClusterWorkload(n_objects=1000, cluster_size=5)
+    config = ColumnConfig(seed=7, duration=20.0, strategy=Strategy.EVICT)
+    result = run_column(config, workload)
+    print(f"inconsistency ratio: {result.inconsistency_ratio:.2%}")
+    print(f"detection ratio:     {result.detection_ratio:.2%}")
+"""
+
+from repro.cache.base import CacheServer, CacheStats, CacheStorage
+from repro.cache.ttl import TTLCache
+from repro.core.deplist import UNBOUNDED, DependencyList
+from repro.core.detector import InconsistencyReport, check_read
+from repro.core.multiversion import MultiversionTCache
+from repro.core.strategies import Strategy
+from repro.core.tcache import TCache
+from repro.db.database import Database, DatabaseConfig, TimingConfig
+from repro.db.invalidation import InvalidationRecord
+from repro.errors import (
+    ConfigurationError,
+    InconsistencyDetected,
+    ReproError,
+    TransactionAborted,
+)
+from repro.experiments.config import CacheKind, ColumnConfig
+from repro.experiments.runner import ColumnResult, build_column, run_column
+from repro.monitor.monitor import ConsistencyMonitor
+from repro.monitor.sgt import SerializationGraphTester
+from repro.sim.core import Simulator
+from repro.sim.rng import BoundedPareto, RngStreams
+from repro.types import DepEntry, ReadResult, VersionedValue
+from repro.workloads.graphs import amazon_like_graph, orkut_like_graph, topology_stats
+from repro.workloads.sampling import random_walk_sample
+from repro.workloads.synthetic import (
+    DriftingClusterWorkload,
+    ParetoClusterWorkload,
+    PerfectClusterWorkload,
+    PhaseSwitchWorkload,
+    UniformWorkload,
+)
+from repro.workloads.walker import RandomWalkWorkload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoundedPareto",
+    "CacheKind",
+    "CacheServer",
+    "CacheStats",
+    "CacheStorage",
+    "ColumnConfig",
+    "ColumnResult",
+    "ConfigurationError",
+    "ConsistencyMonitor",
+    "Database",
+    "DatabaseConfig",
+    "DepEntry",
+    "DependencyList",
+    "DriftingClusterWorkload",
+    "InconsistencyDetected",
+    "InconsistencyReport",
+    "InvalidationRecord",
+    "MultiversionTCache",
+    "ParetoClusterWorkload",
+    "PerfectClusterWorkload",
+    "PhaseSwitchWorkload",
+    "RandomWalkWorkload",
+    "ReadResult",
+    "ReproError",
+    "RngStreams",
+    "SerializationGraphTester",
+    "Simulator",
+    "Strategy",
+    "TCache",
+    "TTLCache",
+    "TimingConfig",
+    "TransactionAborted",
+    "UNBOUNDED",
+    "UniformWorkload",
+    "VersionedValue",
+    "amazon_like_graph",
+    "build_column",
+    "check_read",
+    "orkut_like_graph",
+    "random_walk_sample",
+    "run_column",
+    "topology_stats",
+]

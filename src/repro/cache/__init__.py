@@ -1,0 +1,16 @@
+"""Edge cache servers.
+
+* :mod:`repro.cache.base` — storage and the consistency-unaware cache server
+  (§II's baseline): single-entry reads, asynchronous invalidation upcalls,
+  optional capacity eviction.
+* :mod:`repro.cache.ttl` — the bounded-lifetime baseline of §V-B2 (Fig. 7d):
+  entries expire after a time-to-live even if no invalidation arrived.
+
+The transactional cache itself lives in :mod:`repro.core.tcache`; it reuses
+the storage and reporting machinery defined here.
+"""
+
+from repro.cache.base import CacheServer, CacheStats, CacheStorage
+from repro.cache.ttl import TTLCache
+
+__all__ = ["CacheServer", "CacheStats", "CacheStorage", "TTLCache"]

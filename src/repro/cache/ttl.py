@@ -1,0 +1,40 @@
+"""The bounded-lifetime (TTL) baseline of §V-B2.
+
+"A simple approach in which we limited the life span (Time To Live, TTL) of
+cache entries. Here inconsistencies are not detected, but their probability
+of being witnessed is reduced by having the cache evict entries after a
+certain period even if the database did not indicate they are invalid."
+
+Figure 7d sweeps the TTL and shows the trade-off this class embodies: a TTL
+short enough to matter hammers the backend with re-fetches, and even at more
+than twice the database load it removes only ~10 % of inconsistencies.
+"""
+
+from __future__ import annotations
+
+from repro.cache.base import BackendReader, CacheServer
+from repro.errors import ConfigurationError
+from repro.sim.core import Simulator
+
+__all__ = ["TTLCache"]
+
+
+class TTLCache(CacheServer):
+    """Consistency-unaware cache whose entries expire after ``ttl`` seconds."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        backend: BackendReader,
+        *,
+        ttl: float,
+        capacity: int | None = None,
+        name: str = "ttl-cache",
+    ) -> None:
+        if ttl <= 0:
+            raise ConfigurationError(f"ttl must be positive, got {ttl}")
+        super().__init__(sim, backend, ttl=ttl, capacity=capacity, name=name)
+
+    @property
+    def ttl(self) -> float:
+        return self.storage.ttl

@@ -1,0 +1,18 @@
+"""Open-loop transaction clients (§IV).
+
+"Update clients access the database at a rate of 100 transactions per
+second, and read-only clients access the cache at a rate of 500 transactions
+per second." Both clients are open-loop: arrivals follow the configured rate
+regardless of how long individual transactions take, which is how the
+paper's fixed-rate clients behave.
+"""
+
+from repro.clients.read_client import ReadOnlyClient, ReadClientStats
+from repro.clients.update_client import UpdateClient, UpdateClientStats
+
+__all__ = [
+    "ReadClientStats",
+    "ReadOnlyClient",
+    "UpdateClient",
+    "UpdateClientStats",
+]

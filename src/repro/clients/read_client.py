@@ -1,0 +1,99 @@
+"""Open-loop read-only transaction client.
+
+Fires read-only transactions against a cache at a configured aggregate rate.
+Each transaction reads its access set through the cache's transactional
+interface — ``read(txn_id, key, lastOp)`` (§III-B) — with a small
+client-to-cache round-trip gap between operations, so transactions genuinely
+interleave with concurrent update commits and invalidations.
+
+A transaction aborted by T-Cache is counted and dropped; §III-B notes the
+client *can* retry, and ``retry_aborted=True`` enables that behaviour (used
+by one of the examples), but the paper's experiments measure abort rates
+without client-side retry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.cache.base import CacheServer
+from repro.errors import TransactionAborted
+from repro.sim.core import Simulator
+from repro.workloads.base import Workload
+
+__all__ = ["ReadOnlyClient", "ReadClientStats"]
+
+
+@dataclass(slots=True)
+class ReadClientStats:
+    launched: int = 0
+    committed: int = 0
+    aborted: int = 0
+    reads: int = 0
+    retried_transactions: int = 0
+
+
+class ReadOnlyClient:
+    """Drives read-only transactions as a simulation process."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cache: CacheServer,
+        workload: Workload,
+        *,
+        rate: float,
+        rng: np.random.Generator,
+        txn_ids: Iterator[int],
+        read_gap: float = 0.001,
+        poisson: bool = True,
+        retry_aborted: bool = False,
+        max_retries: int = 2,
+        name: str = "read-client",
+    ) -> None:
+        self._sim = sim
+        self._cache = cache
+        self._workload = workload
+        self._rate = rate
+        self._rng = rng
+        self._txn_ids = txn_ids
+        self._read_gap = read_gap
+        self._poisson = poisson
+        self._retry_aborted = retry_aborted
+        self._max_retries = max_retries
+        self.name = name
+        self.stats = ReadClientStats()
+        self.process = sim.process(self._run())
+
+    def _run(self):
+        while True:
+            yield self._sim.timeout(self._next_gap())
+            keys = self._workload.access_set(self._rng, self._sim.now)
+            self._sim.process(self._transaction(keys, attempt=0))
+
+    def _transaction(self, keys: list, attempt: int):
+        self.stats.launched += 1
+        txn_id = next(self._txn_ids)
+        try:
+            for position, key in enumerate(keys):
+                last_op = position == len(keys) - 1
+                self._cache.read(txn_id, key, last_op)
+                self.stats.reads += 1
+                if not last_op and self._read_gap:
+                    yield self._sim.timeout(self._read_gap)
+        except TransactionAborted:
+            self.stats.aborted += 1
+            if self._retry_aborted and attempt < self._max_retries:
+                self.stats.retried_transactions += 1
+                yield from self._transaction(keys, attempt + 1)
+            return
+        self.stats.committed += 1
+
+    def _next_gap(self) -> float:
+        mean = 1.0 / self._rate
+        if self._poisson:
+            return float(self._rng.exponential(mean))
+        return mean

@@ -1,0 +1,42 @@
+"""Reactions to a detected inconsistency (§III-B).
+
+Upon detecting an inconsistency, the cache can take one of three paths:
+
+* **ABORT** — abort the current transaction. Affects only the running
+  transaction; no collateral damage.
+* **EVICT** — abort the current transaction *and* evict the violating
+  (too-old) object from the cache. Bets that stale entries are repeat
+  offenders (§V-A4 confirms: uncommittable transactions drop to 28 % of
+  their ABORT value).
+* **RETRY** — if the violating object is the one being read right now
+  (Equation 2), treat the access as a miss and serve it from the database;
+  if the violating object was already returned earlier in the transaction
+  (Equation 1), evict it and abort as in EVICT.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["Strategy"]
+
+
+class Strategy(Enum):
+    """Inconsistency-handling strategy for the T-Cache server."""
+
+    ABORT = "abort"
+    EVICT = "evict"
+    RETRY = "retry"
+
+    @property
+    def evicts_stale_entries(self) -> bool:
+        """Whether the strategy removes the offending entry from the cache."""
+        return self is not Strategy.ABORT
+
+    @property
+    def reads_through(self) -> bool:
+        """Whether Equation 2 violations are repaired by a database read."""
+        return self is Strategy.RETRY
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

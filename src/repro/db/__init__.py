@@ -1,0 +1,41 @@
+"""Transactional key-value database with two-phase commit (§IV substrate).
+
+The paper's experimental column is fronted by "a single database
+[implementing] a transactional key-value store with two-phase commit". This
+package is that store, built for the simulation kernel but structurally a
+real distributed database:
+
+* :mod:`repro.db.locks` — strict two-phase locking with wound-wait deadlock
+  avoidance.
+* :mod:`repro.db.wal` — per-node write-ahead log with crash/recovery replay.
+* :mod:`repro.db.store` — versioned object store (current committed version
+  plus the §III-A dependency list).
+* :mod:`repro.db.participant` — a storage shard: locks + WAL + store,
+  prepare/commit/abort handlers.
+* :mod:`repro.db.coordinator` — the two-phase-commit driver.
+* :mod:`repro.db.database` — public facade: transaction execution,
+  lock-free single-entry reads for caches, version assignment, dependency
+  list maintenance and invalidation fan-out.
+* :mod:`repro.db.invalidation` — the asynchronous invalidation records.
+"""
+
+from repro.db.database import Database, DatabaseConfig, TimingConfig
+from repro.db.invalidation import InvalidationRecord
+from repro.db.locks import LockManager, LockMode
+from repro.db.participant import Participant
+from repro.db.store import VersionedStore
+from repro.db.wal import LogRecord, RecordType, WriteAheadLog
+
+__all__ = [
+    "Database",
+    "DatabaseConfig",
+    "InvalidationRecord",
+    "LockManager",
+    "LockMode",
+    "LogRecord",
+    "Participant",
+    "RecordType",
+    "TimingConfig",
+    "VersionedStore",
+    "WriteAheadLog",
+]

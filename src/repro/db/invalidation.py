@@ -1,0 +1,30 @@
+"""Invalidation records streamed from the database to caches (§IV).
+
+"On startup, the cache registers an upcall that can be used by the database
+to report invalidations; after each update transaction, the database
+asynchronously sends invalidations to the cache for all objects that were
+modified." The records travel over a lossy :class:`~repro.sim.channel.Channel`
+— the experiment drops 20 % of them — which is the root cause of the stale
+reads T-Cache detects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import Key, TxnId, Version
+
+__all__ = ["InvalidationRecord"]
+
+
+@dataclass(frozen=True, slots=True)
+class InvalidationRecord:
+    """One modified object announced by a committed update transaction."""
+
+    key: Key
+    #: The version the committing transaction installed. A cache holding a
+    #: copy with an older version must drop it; a newer or equal copy means
+    #: the invalidation arrived late (reordered) and is ignored.
+    version: Version
+    txn_id: TxnId
+    commit_time: float

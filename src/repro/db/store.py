@@ -1,0 +1,75 @@
+"""Versioned object store: the committed state of one participant.
+
+Each key maps to its current :class:`~repro.types.VersionedValue` — value,
+version (the id of the update transaction that wrote it, §III-A) and the
+pruned dependency list the database computed at that transaction's commit.
+Strict two-phase locking above this layer guarantees that readers of the
+store only ever observe committed state, so the store itself needs no
+multi-versioning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.core.deplist import DependencyList
+from repro.errors import KeyNotFound
+from repro.types import INITIAL_VERSION, Key, Version, VersionedValue
+
+__all__ = ["VersionedStore"]
+
+
+class VersionedStore:
+    """Current committed version of every object on one shard."""
+
+    def __init__(self) -> None:
+        self._entries: dict[Key, VersionedValue] = {}
+        #: Writes applied, for statistics and recovery assertions.
+        self.install_count = 0
+
+    def load(self, initial: Mapping[Key, object]) -> None:
+        """Bulk-load initial objects at :data:`INITIAL_VERSION` (no deps)."""
+        for key, value in initial.items():
+            self._entries[key] = VersionedValue(
+                key=key, value=value, version=INITIAL_VERSION, deps=()
+            )
+
+    def get(self, key: Key) -> VersionedValue:
+        entry = self._entries.get(key)
+        if entry is None:
+            raise KeyNotFound(key)
+        return entry
+
+    def contains(self, key: Key) -> bool:
+        return key in self._entries
+
+    def install(
+        self, key: Key, value: object, version: Version, deps: DependencyList
+    ) -> VersionedValue:
+        """Install a committed write.
+
+        Versions must move forward: two-phase locking serialises writers per
+        key, so a regression would mean a protocol bug — fail loudly.
+        """
+        current = self._entries.get(key)
+        if current is not None and version <= current.version:
+            raise AssertionError(
+                f"version regression on {key!r}: {current.version} -> {version}"
+            )
+        entry = VersionedValue(key=key, value=value, version=version, deps=deps.entries)
+        self._entries[key] = entry
+        self.install_count += 1
+        return entry
+
+    def version_of(self, key: Key) -> Version:
+        return self.get(key).version
+
+    def keys(self) -> Iterator[Key]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def snapshot(self) -> dict[Key, VersionedValue]:
+        """A shallow copy of the committed state (entries are immutable)."""
+        return dict(self._entries)

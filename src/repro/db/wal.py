@@ -1,0 +1,83 @@
+"""Write-ahead log for participants and the 2PC coordinator.
+
+The log is in-memory (the simulation has no disks) but structurally faithful:
+append-only records with monotonically increasing LSNs, forced at the 2PC
+decision points, and a recovery scan that reconstructs the prepared-but-
+undecided transaction set after a crash — the state the presumed-abort
+protocol in :mod:`repro.db.coordinator` resolves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterator
+
+from repro.types import TxnId
+
+__all__ = ["RecordType", "LogRecord", "WriteAheadLog"]
+
+
+class RecordType(Enum):
+    BEGIN = "begin"
+    PREPARE = "prepare"
+    COMMIT = "commit"
+    ABORT = "abort"
+    #: Coordinator-side: the global commit/abort decision.
+    DECISION_COMMIT = "decision-commit"
+    DECISION_ABORT = "decision-abort"
+
+
+@dataclass(frozen=True, slots=True)
+class LogRecord:
+    lsn: int
+    record_type: RecordType
+    txn_id: TxnId
+    #: Buffered writes for PREPARE records: {key: (value, ...)}; free-form
+    #: payload otherwise.
+    payload: Any = None
+
+
+@dataclass
+class WriteAheadLog:
+    """Append-only log with LSN assignment and recovery analysis."""
+
+    name: str = "wal"
+    _records: list[LogRecord] = field(default_factory=list)
+
+    def append(self, record_type: RecordType, txn_id: TxnId, payload: Any = None) -> LogRecord:
+        record = LogRecord(len(self._records), record_type, txn_id, payload)
+        self._records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def records_for(self, txn_id: TxnId) -> list[LogRecord]:
+        return [r for r in self._records if r.txn_id == txn_id]
+
+    def prepared_undecided(self) -> dict[TxnId, LogRecord]:
+        """Recovery analysis: prepared transactions with no final record.
+
+        Returns the PREPARE record (whose payload carries the buffered
+        writes) for every transaction that must be resolved with the
+        coordinator under presumed abort.
+        """
+        prepared: dict[TxnId, LogRecord] = {}
+        decided: set[TxnId] = set()
+        for record in self._records:
+            if record.record_type is RecordType.PREPARE:
+                prepared[record.txn_id] = record
+            elif record.record_type in (RecordType.COMMIT, RecordType.ABORT):
+                decided.add(record.txn_id)
+        return {txn: rec for txn, rec in prepared.items() if txn not in decided}
+
+    def committed_transactions(self) -> list[TxnId]:
+        return [r.txn_id for r in self._records if r.record_type is RecordType.COMMIT]
+
+    def truncate(self) -> None:
+        """Drop all records (used between experiment repetitions)."""
+        self._records.clear()

@@ -1,0 +1,128 @@
+"""Exception hierarchy for the T-Cache reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+applications can catch the whole family with a single ``except`` clause while
+still being able to distinguish the transactional outcomes that the paper's
+protocol produces (aborts, detected inconsistencies) from genuine misuse of
+the API (unknown keys, double commits, protocol violations).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TransactionError",
+    "TransactionAborted",
+    "InconsistencyDetected",
+    "DeadlockDetected",
+    "LockTimeout",
+    "TwoPhaseCommitError",
+    "ParticipantFailure",
+    "KeyNotFound",
+    "InvalidTransactionState",
+    "SimulationError",
+    "ProcessKilled",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-related failures."""
+
+    def __init__(self, txn_id: int, message: str) -> None:
+        super().__init__(f"transaction {txn_id}: {message}")
+        self.txn_id = txn_id
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted and its effects discarded.
+
+    Raised both by the database (deadlock avoidance, explicit abort,
+    participant failure) and by T-Cache when the ABORT / EVICT / RETRY
+    strategies decide that a read-only transaction must not commit.
+    """
+
+    def __init__(self, txn_id: int, reason: str = "aborted") -> None:
+        super().__init__(txn_id, reason)
+        self.reason = reason
+
+
+class InconsistencyDetected(TransactionAborted):
+    """T-Cache detected a dependency violation (Eq. 1 or Eq. 2, §III-B).
+
+    Carries enough structure for the strategies (and for tests) to know which
+    object violated which expectation.
+    """
+
+    def __init__(
+        self,
+        txn_id: int,
+        key: str,
+        found_version: int,
+        required_version: int,
+        *,
+        stale_read_is_current: bool,
+    ) -> None:
+        kind = "current read too old" if stale_read_is_current else "earlier read too old"
+        super().__init__(
+            txn_id,
+            (
+                f"inconsistency on {key!r}: found version {found_version}, "
+                f"dependencies require >= {required_version} ({kind})"
+            ),
+        )
+        self.key = key
+        self.found_version = found_version
+        self.required_version = required_version
+        #: True when Eq. 2 fired (the object being read right now is stale);
+        #: False when Eq. 1 fired (an object read earlier in the transaction
+        #: turned out to be stale).
+        self.stale_read_is_current = stale_read_is_current
+
+
+class DeadlockDetected(TransactionError):
+    """The lock manager refused a lock to break a deadlock (wound-wait)."""
+
+
+class LockTimeout(TransactionError):
+    """A lock request waited longer than the configured bound."""
+
+
+class TwoPhaseCommitError(TransactionError):
+    """The two-phase-commit protocol could not complete."""
+
+
+class ParticipantFailure(ReproError):
+    """A storage participant crashed or voted NO during 2PC."""
+
+    def __init__(self, participant: str, message: str) -> None:
+        super().__init__(f"participant {participant}: {message}")
+        self.participant = participant
+
+
+class KeyNotFound(ReproError):
+    """The requested key does not exist in the store."""
+
+    def __init__(self, key: str) -> None:
+        super().__init__(f"key not found: {key!r}")
+        self.key = key
+
+
+class InvalidTransactionState(TransactionError):
+    """An operation was attempted in a state that does not allow it."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event simulation kernel."""
+
+
+class ProcessKilled(ReproError):
+    """Injected into a simulation process that is being killed."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or component was configured with invalid parameters."""

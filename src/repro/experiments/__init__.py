@@ -1,0 +1,19 @@
+"""Experiment harness: the single-column setup of Figure 2 plus one module
+per evaluation figure.
+
+* :mod:`repro.experiments.config` — the experiment knobs (rates, loss,
+  dependency-list bound, strategy, cache kind).
+* :mod:`repro.experiments.runner` — builds simulator + database +
+  invalidation channel + cache + clients + monitor, runs, collects results.
+* :mod:`repro.experiments.fig3_alpha` … :mod:`repro.experiments.fig8_strategies`
+  — parameter sweeps reproducing Figures 3–8.
+* :mod:`repro.experiments.theorem1` — the unbounded-resources configuration
+  of Theorem 1.
+* :mod:`repro.experiments.report` — plain-text table rendering shared by
+  benches and examples.
+"""
+
+from repro.experiments.config import ColumnConfig, CacheKind
+from repro.experiments.runner import ColumnResult, run_column
+
+__all__ = ["CacheKind", "ColumnConfig", "ColumnResult", "run_column"]

@@ -1,0 +1,145 @@
+"""Command-line entry point for the paper's experiments.
+
+Run any figure's sweep and print the series it plots::
+
+    python -m repro.experiments fig3
+    python -m repro.experiments fig7c --duration 20
+    python -m repro.experiments all --duration 15
+
+Figure ids: fig3, fig4, fig5, fig6, fig7ab, fig7c, fig7d, fig8, theorem1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    fig3_alpha,
+    fig4_convergence,
+    fig5_drift,
+    fig6_strategies,
+    fig7_realistic,
+    fig8_strategies,
+    theorem1,
+)
+from repro.experiments.realistic import topology_rows
+from repro.experiments.report import print_table
+
+
+def _run_fig3(duration: float) -> None:
+    print_table(
+        fig3_alpha.run(duration=duration),
+        title="Figure 3: detected inconsistencies vs Pareto alpha",
+    )
+
+
+def _run_fig4(duration: float) -> None:
+    scale = duration / 30.0
+    rows = fig4_convergence.run(duration=160.0 * scale, switch_time=58.0 * scale)
+    stride = max(1, len(rows) // 24)
+    print_table(rows[::stride], title="Figure 4: convergence (sampled windows)")
+    summaries = fig4_convergence.phase_summaries(rows, switch_time=58.0 * scale)
+    print_table(
+        [
+            {"phase": "before", **summaries["before"]},
+            {"phase": "after", **summaries["after"]},
+        ],
+        title="phase means [txn/s]",
+    )
+
+
+def _run_fig5(duration: float) -> None:
+    scale = duration / 30.0
+    rows = fig5_drift.run(
+        duration=800.0 * scale, shift_interval=180.0 * scale, window=5.0 * scale
+    )
+    stride = max(1, len(rows) // 32)
+    print_table(rows[::stride], title="Figure 5: drifting clusters (sampled)")
+    print_table(
+        [fig5_drift.shift_spike_profile(rows, 180.0 * scale)],
+        title="spike profile",
+    )
+
+
+def _run_fig6(duration: float) -> None:
+    print_table(
+        fig6_strategies.run(duration=duration),
+        title="Figure 6: strategies (synthetic, alpha=1)",
+    )
+
+
+def _run_fig7ab(duration: float) -> None:
+    print_table(topology_rows(), title="Figure 7ab: topology statistics")
+
+
+def _run_fig7c(duration: float) -> None:
+    print_table(
+        fig7_realistic.run_deplist_sweep(duration=duration),
+        title="Figure 7c: dependency-list sweep",
+    )
+
+
+def _run_fig7d(duration: float) -> None:
+    print_table(
+        fig7_realistic.run_ttl_sweep(duration=duration),
+        title="Figure 7d: TTL sweep",
+    )
+
+
+def _run_fig8(duration: float) -> None:
+    print_table(
+        fig8_strategies.run(duration=duration),
+        title="Figure 8: strategies (realistic, k=3)",
+    )
+
+
+def _run_theorem1(duration: float) -> None:
+    print_table(
+        theorem1.run(duration=duration),
+        title="Theorem 1: unbounded T-Cache",
+    )
+
+
+EXPERIMENTS = {
+    "fig3": _run_fig3,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7ab": _run_fig7ab,
+    "fig7c": _run_fig7c,
+    "fig7d": _run_fig7d,
+    "fig8": _run_fig8,
+    "theorem1": _run_theorem1,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the figures of the T-Cache paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="which figure to regenerate",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=30.0,
+        help="measured simulated seconds per run (default: 30, the paper scale)",
+    )
+    args = parser.parse_args(argv)
+
+    selected = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in selected:
+        start = time.perf_counter()
+        EXPERIMENTS[name](args.duration)
+        print(f"[{name} done in {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

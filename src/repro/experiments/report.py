@@ -1,0 +1,72 @@
+"""Plain-text rendering of experiment results.
+
+The benchmarks and examples print the same rows the paper's figures plot;
+this module renders them as aligned tables so runs are readable in CI logs
+and terminal sessions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_percent", "print_table"]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    ``columns`` selects and orders the rendered keys (default: keys of the
+    first row in insertion order). Floats are shown with four significant
+    digits; everything else via ``str``.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    table = [[cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[i]) for line in table))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in table
+    ]
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.extend([header, separator, *body])
+    return "\n".join(parts)
+
+
+def print_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    *,
+    title: str | None = None,
+) -> None:
+    print(format_table(rows, columns, title=title))
+
+
+def merge_series(series: Iterable[Mapping[str, float]], keys: Sequence[str]):
+    """Project a time series onto selected keys (utility for examples)."""
+    return [{key: row.get(key, 0.0) for key in keys} for row in series]

@@ -1,0 +1,137 @@
+"""Sensitivity studies beyond the paper's headline figures.
+
+Three sweeps that quantify claims the paper makes in passing:
+
+* **Cluster size vs dependency-list bound** — §III: "Intuitively, dependency
+  lists should be roughly the same size as the size of the workload's
+  clusters." The sweep crosses cluster sizes with list bounds; detection
+  should saturate once ``k`` reaches roughly ``cluster_size - 1`` (every
+  partner of an object fits in its list).
+* **Invalidation loss rate** — the experiment's 20 % drop rate is a chosen
+  pathology level; this sweep maps inconsistency and detection against the
+  loss rate from 0 % to 100 %.
+* **Read/update ratio** — the paper fixes 500/100 txn/s; this sweep varies
+  update pressure at a constant read rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.strategies import Strategy
+from repro.experiments.config import ColumnConfig
+from repro.experiments.runner import run_column
+from repro.workloads.synthetic import PerfectClusterWorkload
+
+__all__ = [
+    "run_cluster_size_vs_k",
+    "run_loss_sweep",
+    "run_update_pressure_sweep",
+]
+
+
+def base_config(seed: int = 41, duration: float = 15.0) -> ColumnConfig:
+    return ColumnConfig(
+        seed=seed, duration=duration, warmup=5.0, strategy=Strategy.ABORT
+    )
+
+
+def run_cluster_size_vs_k(
+    cluster_sizes: tuple[int, ...] = (3, 5, 8),
+    bounds: tuple[int, ...] = (1, 2, 4, 7, 10),
+    *,
+    seed: int = 41,
+    duration: float = 15.0,
+    n_objects: int = 1920,
+) -> list[dict[str, object]]:
+    """Detection ratio across (cluster size, k) — the §III intuition.
+
+    ``n_objects`` must be divisible by every cluster size; 1920 covers
+    3, 5 and 8.
+    """
+    rows: list[dict[str, object]] = []
+    config = base_config(seed=seed, duration=duration)
+    for cluster_size in cluster_sizes:
+        workload = PerfectClusterWorkload(
+            n_objects=n_objects, cluster_size=cluster_size, txn_size=cluster_size
+        )
+        for bound in bounds:
+            result = run_column(replace(config, deplist_max=bound), workload)
+            rows.append(
+                {
+                    "cluster_size": cluster_size,
+                    "deplist_max": bound,
+                    "detection_pct": round(100.0 * result.detection_ratio, 1),
+                    "inconsistency_pct": round(
+                        100.0 * result.inconsistency_ratio, 2
+                    ),
+                    "saturated": bound >= cluster_size - 1,
+                }
+            )
+    return rows
+
+
+def run_loss_sweep(
+    loss_rates: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.4, 0.8),
+    *,
+    seed: int = 43,
+    duration: float = 15.0,
+) -> list[dict[str, object]]:
+    """Inconsistency pressure as a function of invalidation loss."""
+    rows: list[dict[str, object]] = []
+    workload = PerfectClusterWorkload(n_objects=1000, cluster_size=5)
+    config = base_config(seed=seed, duration=duration)
+    for loss in loss_rates:
+        detected = run_column(
+            replace(config, invalidation_loss=loss, deplist_max=5), workload
+        )
+        blind = run_column(
+            replace(config, invalidation_loss=loss, deplist_max=0), workload
+        )
+        rows.append(
+            {
+                "loss_pct": round(100.0 * loss, 1),
+                "baseline_inconsistency_pct": round(
+                    100.0 * blind.inconsistency_ratio, 2
+                ),
+                "tcache_inconsistency_pct": round(
+                    100.0 * detected.inconsistency_ratio, 2
+                ),
+                "detection_pct": round(100.0 * detected.detection_ratio, 1),
+            }
+        )
+    return rows
+
+
+def run_update_pressure_sweep(
+    update_rates: tuple[float, ...] = (25.0, 50.0, 100.0, 200.0, 400.0),
+    *,
+    seed: int = 47,
+    duration: float = 15.0,
+) -> list[dict[str, object]]:
+    """Inconsistency pressure as a function of update rate (reads fixed)."""
+    rows: list[dict[str, object]] = []
+    workload = PerfectClusterWorkload(n_objects=1000, cluster_size=5)
+    config = base_config(seed=seed, duration=duration)
+    for rate in update_rates:
+        result = run_column(
+            replace(config, update_rate=rate, deplist_max=5), workload
+        )
+        rows.append(
+            {
+                "update_rate": rate,
+                "abort_ratio_pct": round(100.0 * result.abort_ratio, 2),
+                "inconsistency_pct": round(100.0 * result.inconsistency_ratio, 2),
+                "detection_pct": round(100.0 * result.detection_ratio, 1),
+                "hit_ratio": round(result.hit_ratio, 3),
+            }
+        )
+    return rows
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    from repro.experiments.report import print_table
+
+    print_table(run_cluster_size_vs_k(), title="cluster size vs k")
+    print_table(run_loss_sweep(), title="invalidation loss sweep")
+    print_table(run_update_pressure_sweep(), title="update pressure sweep")

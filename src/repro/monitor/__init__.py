@@ -1,0 +1,27 @@
+"""The experiment-only consistency monitor (Fig. 2).
+
+"Both the database and the cache report all completed transactions to a
+consistency monitor ... It performs full serialization graph testing [5] and
+calculates the rate of inconsistent transactions that committed and the rate
+of consistent transactions that were unnecessarily aborted."
+
+* :mod:`repro.monitor.sgt` — the serialization-graph tester: conflict DAG
+  over committed update transactions, cycle search per read-only
+  transaction.
+* :mod:`repro.monitor.stats` — windowed time series and summary ratios.
+* :mod:`repro.monitor.monitor` — the observer wiring both together.
+"""
+
+from repro.monitor.analysis import StalenessProbe, StalenessReport
+from repro.monitor.monitor import ConsistencyMonitor
+from repro.monitor.sgt import SerializationGraphTester
+from repro.monitor.stats import MonitorSummary, TimeSeries
+
+__all__ = [
+    "ConsistencyMonitor",
+    "MonitorSummary",
+    "SerializationGraphTester",
+    "StalenessProbe",
+    "StalenessReport",
+    "TimeSeries",
+]

@@ -1,0 +1,87 @@
+"""The consistency monitor: the omniscient observer of Figure 2.
+
+An experiment-only component. It taps the database's commit stream and every
+cache's finished-transaction stream, classifies each read-only transaction
+with the serialization-graph tester, and accumulates both cumulative counts
+and a per-window time series. It never influences the system under test.
+"""
+
+from __future__ import annotations
+
+from repro.monitor.sgt import SerializationGraphTester
+from repro.monitor.stats import (
+    ABORTED_NECESSARY,
+    ABORTED_UNNECESSARY,
+    CONSISTENT,
+    INCONSISTENT,
+    MonitorSummary,
+    TimeSeries,
+)
+from repro.sim.core import Simulator
+from repro.types import (
+    CommittedTransaction,
+    ReadOnlyTransactionRecord,
+    TransactionOutcome,
+)
+
+__all__ = ["ConsistencyMonitor"]
+
+
+class ConsistencyMonitor:
+    """Collects transactions and rigorously detects inconsistencies.
+
+    Wire it up with::
+
+        monitor = ConsistencyMonitor(sim)
+        database.add_commit_listener(monitor.record_update)
+        cache.add_transaction_listener(monitor.record_read_only)
+    """
+
+    def __init__(self, sim: Simulator, *, window: float = 1.0) -> None:
+        self._sim = sim
+        self.tester = SerializationGraphTester()
+        self.summary = MonitorSummary()
+        self.series = TimeSeries(window=window)
+        #: Witnesses of committed-inconsistent transactions, for debugging
+        #: and tests (bounded to avoid unbounded growth in long runs).
+        self.inconsistency_witnesses: list[ReadOnlyTransactionRecord] = []
+        self._witness_limit = 100
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def record_update(self, txn: CommittedTransaction) -> None:
+        self.tester.record_update(txn)
+        self.summary.update_commits += 1
+
+    def record_read_only(self, record: ReadOnlyTransactionRecord) -> None:
+        consistent = (not record.non_repeatable) and self.tester.is_consistent(
+            record.reads
+        )
+        if record.non_repeatable:
+            self.summary.non_repeatable += 1
+        if record.outcome is TransactionOutcome.COMMITTED:
+            label = CONSISTENT if consistent else INCONSISTENT
+            if not consistent and len(self.inconsistency_witnesses) < self._witness_limit:
+                self.inconsistency_witnesses.append(record)
+        else:
+            label = ABORTED_UNNECESSARY if consistent else ABORTED_NECESSARY
+        self.summary.read_only.add(label)
+        self.series.record(record.finish_time, label)
+
+    # ------------------------------------------------------------------
+    # Convenience accessors used by the experiments
+    # ------------------------------------------------------------------
+
+    @property
+    def inconsistency_ratio(self) -> float:
+        return self.summary.inconsistency_ratio
+
+    @property
+    def detection_ratio(self) -> float:
+        return self.summary.detection_ratio
+
+    @property
+    def abort_ratio(self) -> float:
+        return self.summary.abort_ratio

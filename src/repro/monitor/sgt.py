@@ -1,0 +1,205 @@
+"""Serialization graph testing for read-only edge transactions.
+
+Theory
+------
+The backend uses strict two-phase locking and assigns versions from a global
+commit-sequence counter, so every conflict edge between update transactions
+(write-write, write-read, read-write on a common key) points from a lower
+version to a higher version: the conflict graph of update transactions is a
+DAG and the version order is a valid serialization. (This is asserted, not
+assumed: :meth:`SerializationGraphTester.verify_update_dag` recomputes the
+edge directions, and the database test suite calls it.)
+
+A read-only transaction ``T`` that observed version ``v_i`` of object ``o_i``
+adds, per standard serialization-graph construction:
+
+* a WR edge ``W_i -> T`` from the writer ``W_i`` of each version read, and
+* an RW edge ``T -> N_j`` to the *next* writer ``N_j`` of each object read
+  (the earliest update transaction that overwrote the version ``T`` saw).
+
+``T`` serializes with the update history iff the combined graph has no cycle
+through ``T``, which — since update transactions alone form a DAG — is
+exactly the existence of a path ``N_j ->* W_i`` for some pair ``(j, i)``
+(including the degenerate path ``N_j = W_i``). The tester materialises
+version chains and reader indexes and answers that reachability question
+with a breadth-first search that only expands transactions whose version is
+at most ``max_i version(W_i)`` — every conflict edge increases the version,
+so nothing beyond that bound can reach a writer.
+
+Because conflict edges only ever point towards *later* versions, a read set
+that is consistent now can never become inconsistent as more update
+transactions commit; the monitor may therefore classify each read-only
+transaction once, at completion time.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from typing import Iterable, Mapping
+
+from repro.errors import SimulationError
+from repro.types import CommittedTransaction, Key, TxnId, Version
+
+__all__ = ["SerializationGraphTester"]
+
+
+class SerializationGraphTester:
+    """Exact consistency oracle over the committed update history."""
+
+    def __init__(self) -> None:
+        self._txns: dict[TxnId, CommittedTransaction] = {}
+        #: Per key: sorted list of versions installed (ascending).
+        self._chains: dict[Key, list[Version]] = {}
+        #: Update transactions that *read* (key, version), for WR edges
+        #: between update transactions.
+        self._readers: dict[tuple[Key, Version], list[TxnId]] = {}
+        self.update_count = 0
+        self.checks = 0
+        #: Total BFS node expansions, for overhead reporting.
+        self.expansions = 0
+
+    # ------------------------------------------------------------------
+    # History construction
+    # ------------------------------------------------------------------
+
+    def record_update(self, txn: CommittedTransaction) -> None:
+        """Add a committed update transaction to the history."""
+        if txn.txn_id in self._txns:
+            raise SimulationError(f"update transaction {txn.txn_id} recorded twice")
+        self._txns[txn.txn_id] = txn
+        self.update_count += 1
+        for key, version in txn.writes.items():
+            if version != txn.txn_id:
+                raise SimulationError(
+                    f"write version {version} differs from txn version {txn.txn_id}"
+                )
+            insort(self._chains.setdefault(key, []), version)
+        for key, version in txn.reads.items():
+            self._readers.setdefault((key, version), []).append(txn.txn_id)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def writer_of(self, key: Key, version: Version) -> TxnId | None:
+        """The update transaction that installed ``(key, version)``.
+
+        Version 0 entries come from the initial load and have no writer.
+        """
+        if version == 0:
+            return None
+        txn = self._txns.get(version)
+        if txn is None or key not in txn.writes:
+            raise SimulationError(f"no recorded writer for {key!r} @ {version}")
+        return version
+
+    def next_writer(self, key: Key, version: Version) -> TxnId | None:
+        """The earliest transaction that overwrote ``(key, version)``."""
+        chain = self._chains.get(key)
+        if not chain:
+            return None
+        index = bisect_right(chain, version)
+        if index == len(chain):
+            return None
+        return chain[index]
+
+    def is_consistent(self, reads: Mapping[Key, Version]) -> bool:
+        """Whether a read-only transaction observing ``reads`` serializes.
+
+        ``reads`` maps each key to the version observed. Empty and
+        single-read transactions are trivially consistent (per-object reads
+        always see some committed version).
+        """
+        self.checks += 1
+        if len(reads) <= 1:
+            return True
+
+        writers: set[TxnId] = set()
+        for key, version in reads.items():
+            writer = self.writer_of(key, version)
+            if writer is not None:
+                writers.add(writer)
+        starts: set[TxnId] = set()
+        for key, version in reads.items():
+            overwriter = self.next_writer(key, version)
+            if overwriter is not None:
+                starts.add(overwriter)
+        if not writers or not starts:
+            return True
+        bound = max(writers)
+
+        # BFS over the update-transaction conflict DAG, versions ascending.
+        frontier = [txn for txn in starts if txn <= bound]
+        visited: set[TxnId] = set(frontier)
+        while frontier:
+            node = frontier.pop()
+            if node in writers:
+                return False
+            self.expansions += 1
+            for successor in self._successors(node):
+                if successor <= bound and successor not in visited:
+                    visited.add(successor)
+                    frontier.append(successor)
+        return True
+
+    def explain_inconsistency(
+        self, reads: Mapping[Key, Version]
+    ) -> tuple[Key, Key] | None:
+        """A witness pair (stale key, fresh key) when ``reads`` is
+        inconsistent, for diagnostics and tests; None when consistent.
+        """
+        for stale_key, stale_version in reads.items():
+            start = self.next_writer(stale_key, stale_version)
+            if start is None:
+                continue
+            for fresh_key, fresh_version in reads.items():
+                writer = self.writer_of(fresh_key, fresh_version)
+                if writer is None:
+                    continue
+                if self._reaches(start, writer):
+                    return (stale_key, fresh_key)
+        return None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _successors(self, txn_id: TxnId) -> Iterable[TxnId]:
+        """Outgoing conflict edges of an update transaction."""
+        txn = self._txns.get(txn_id)
+        if txn is None:
+            return
+        for key, version in txn.writes.items():
+            overwriter = self.next_writer(key, version)
+            if overwriter is not None:
+                yield overwriter  # WW
+            for reader in self._readers.get((key, version), ()):
+                if reader != txn_id:
+                    yield reader  # WR
+        for key, version in txn.reads.items():
+            overwriter = self.next_writer(key, version)
+            if overwriter is not None and overwriter != txn_id:
+                yield overwriter  # RW
+
+    def _reaches(self, start: TxnId, target: TxnId) -> bool:
+        if start == target:
+            return True
+        frontier = [start]
+        visited = {start}
+        while frontier:
+            node = frontier.pop()
+            for successor in self._successors(node):
+                if successor == target:
+                    return True
+                if successor < target and successor not in visited:
+                    visited.add(successor)
+                    frontier.append(successor)
+        return False
+
+    def verify_update_dag(self) -> bool:
+        """Assert every conflict edge increases the version (DAG witness)."""
+        for txn_id in self._txns:
+            for successor in self._successors(txn_id):
+                if successor <= txn_id:
+                    return False
+        return True

@@ -1,0 +1,129 @@
+"""Windowed time series and summary ratios for the experiment reports.
+
+The figures need two views of the monitor's classifications:
+
+* cumulative ratios over a whole run (Figs. 3, 6, 7, 8) — provided by
+  :class:`MonitorSummary`;
+* per-second (or per-window) rates (Figs. 4, 5) — provided by
+  :class:`TimeSeries`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["TimeSeries", "MonitorSummary", "ClassCounts"]
+
+#: Classification labels used across the monitor and the figures.
+CONSISTENT = "consistent"
+INCONSISTENT = "inconsistent"
+ABORTED_NECESSARY = "aborted_necessary"
+ABORTED_UNNECESSARY = "aborted_unnecessary"
+
+CLASSES = (CONSISTENT, INCONSISTENT, ABORTED_NECESSARY, ABORTED_UNNECESSARY)
+
+
+@dataclass(slots=True)
+class ClassCounts:
+    """Counts of read-only transactions by monitor classification."""
+
+    consistent: int = 0
+    inconsistent: int = 0
+    aborted_necessary: int = 0
+    aborted_unnecessary: int = 0
+
+    @property
+    def committed(self) -> int:
+        return self.consistent + self.inconsistent
+
+    @property
+    def aborted(self) -> int:
+        return self.aborted_necessary + self.aborted_unnecessary
+
+    @property
+    def total(self) -> int:
+        return self.committed + self.aborted
+
+    def add(self, label: str) -> None:
+        setattr(self, label, getattr(self, label) + 1)
+
+    @property
+    def inconsistency_ratio(self) -> float:
+        """Inconsistent commits over all commits (Figs. 5, 7)."""
+        return self.inconsistent / self.committed if self.committed else 0.0
+
+    @property
+    def abort_ratio(self) -> float:
+        return self.aborted / self.total if self.total else 0.0
+
+    @property
+    def detection_ratio(self) -> float:
+        """Detected inconsistencies over potential inconsistencies (Fig. 3).
+
+        A *potential* inconsistency is a transaction that either committed
+        inconsistently (missed) or was aborted while genuinely inconsistent
+        (detected).
+        """
+        potential = self.aborted_necessary + self.inconsistent
+        return self.aborted_necessary / potential if potential else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        return {label: getattr(self, label) for label in CLASSES}
+
+
+class TimeSeries:
+    """Per-window classification counts keyed by ``int(time / window)``."""
+
+    def __init__(self, window: float = 1.0) -> None:
+        self.window = window
+        self._buckets: dict[int, ClassCounts] = defaultdict(ClassCounts)
+
+    def record(self, time: float, label: str) -> None:
+        self._buckets[int(time / self.window)].add(label)
+
+    def bucket(self, index: int) -> ClassCounts:
+        return self._buckets.get(index, ClassCounts())
+
+    def buckets(self) -> list[tuple[float, ClassCounts]]:
+        """Sorted ``(window start time, counts)`` pairs."""
+        return [
+            (index * self.window, self._buckets[index])
+            for index in sorted(self._buckets)
+        ]
+
+    def rates(self) -> list[dict[str, float]]:
+        """Per-window transaction rates in txn/sec, one row per window."""
+        rows = []
+        for start, counts in self.buckets():
+            row: dict[str, float] = {"time": start}
+            for label in CLASSES:
+                row[label] = getattr(counts, label) / self.window
+            row["inconsistency_ratio"] = counts.inconsistency_ratio
+            rows.append(row)
+        return rows
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+
+@dataclass(slots=True)
+class MonitorSummary:
+    """Cumulative view handed to the experiment harness."""
+
+    read_only: ClassCounts = field(default_factory=ClassCounts)
+    update_commits: int = 0
+    #: Read-only transactions flagged non-repeatable by the cache.
+    non_repeatable: int = 0
+
+    @property
+    def inconsistency_ratio(self) -> float:
+        return self.read_only.inconsistency_ratio
+
+    @property
+    def detection_ratio(self) -> float:
+        return self.read_only.detection_ratio
+
+    @property
+    def abort_ratio(self) -> float:
+        return self.read_only.abort_ratio

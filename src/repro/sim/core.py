@@ -1,0 +1,237 @@
+"""Event loop and wait primitives for the simulation kernel.
+
+The design follows the classic event-list pattern: a heap of
+``(time, sequence, callback)`` entries and a monotonically advancing float
+clock. Components never sleep or block; they schedule callbacks or, more
+conveniently, run as generator :class:`~repro.sim.process.Process` objects
+that yield the wait primitives defined here.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["Simulator", "Event", "Timeout", "AnyOf", "AllOf"]
+
+
+class Event:
+    """A one-shot occurrence that callbacks (and processes) can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail` makes
+    it *triggered* and schedules its callbacks to run at the current
+    simulation time. Triggering twice is an error — occurrences in a
+    discrete-event simulation happen exactly once.
+    """
+
+    __slots__ = ("sim", "_callbacks", "_triggered", "_ok", "_value")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._callbacks: list[Callable[[Event], None]] = []
+        self._triggered = False
+        self._ok = True
+        self._value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        self._trigger(ok=True, value=value)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if not isinstance(exception, BaseException):
+            raise SimulationError("Event.fail() requires an exception instance")
+        self._trigger(ok=False, value=exception)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` once the event triggers.
+
+        If the event already triggered, the callback runs at the current
+        simulation time (not retroactively).
+        """
+        if self._triggered:
+            self.sim.schedule(0.0, lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+    def _trigger(self, *, ok: bool, value: Any) -> None:
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._ok = ok
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.sim.schedule(0.0, lambda cb=callback: cb(self))
+
+
+class Timeout(Event):
+    """An event that triggers automatically after ``delay`` sim-seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        sim.schedule(delay, lambda: self.succeed(value))
+
+
+class AnyOf(Event):
+    """Triggers as soon as any of the given events triggers.
+
+    The value is the first triggering event. A failure of any child fails
+    the composite.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: list[Event]) -> None:
+        super().__init__(sim)
+        if not events:
+            raise SimulationError("AnyOf requires at least one event")
+        for event in events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok:
+            self.succeed(event)
+        else:
+            self.fail(event.value)
+
+
+class AllOf(Event):
+    """Triggers once every one of the given events has triggered.
+
+    The value is the list of child values in construction order. The first
+    child failure fails the composite immediately.
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: list[Event]) -> None:
+        super().__init__(sim)
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for event in self._children:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([child.value for child in self._children])
+
+
+class Simulator:
+    """Heap-based discrete-event scheduler with a float clock.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> sim.schedule(2.5, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [2.5]
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` sim-seconds from now.
+
+        Ties are broken by insertion order, which keeps runs deterministic.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, next(self._sequence), callback))
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def any_of(self, events: list[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: list[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def process(self, generator) -> "Process":  # noqa: ANN001 - documented in process.py
+        """Start a generator as a cooperative process (see ``sim.process``)."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def run(self, until: float | None = None) -> None:
+        """Execute events in time order.
+
+        Without ``until`` the loop drains the queue. With ``until`` the loop
+        stops once the next event would fire strictly after ``until`` and the
+        clock is advanced to exactly ``until``.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        try:
+            while self._queue:
+                time, _, callback = self._queue[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = time
+                callback()
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Execute a single event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        time, _, callback = heapq.heappop(self._queue)
+        self._now = time
+        callback()
+        return True
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,104 @@
+"""Generator-based cooperative processes for the simulation kernel.
+
+A *process* is a Python generator that yields :class:`~repro.sim.core.Event`
+objects (most often :class:`~repro.sim.core.Timeout`). The process is resumed
+with the event's value when the event triggers, mirroring how a thread would
+block on I/O — but deterministically and with zero concurrency hazards.
+
+Example::
+
+    def client(sim, cache):
+        while True:
+            yield sim.timeout(0.002)          # inter-arrival gap
+            value = cache.read("user:42")     # synchronous model call
+            ...
+
+    sim.process(client(sim, cache))
+    sim.run(until=60.0)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import ProcessKilled, SimulationError
+from repro.sim.core import Event, Simulator
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """Drives a generator, waking it whenever its yielded event triggers.
+
+    A ``Process`` is itself an :class:`Event`: it triggers when the generator
+    returns (successfully, with the ``return`` value) or raises (failure).
+    That makes ``yield other_process`` a natural join operation.
+    """
+
+    __slots__ = ("_generator", "_alive")
+
+    def __init__(self, sim: Simulator, generator: Generator[Event, Any, Any]) -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                "Process requires a generator; did you forget to call the function?"
+            )
+        super().__init__(sim)
+        self._generator = generator
+        self._alive = True
+        # First resumption happens as a scheduled event so that process
+        # start order matches creation order at the current instant.
+        sim.schedule(0.0, lambda: self._resume(None, None))
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def kill(self) -> None:
+        """Throw :class:`ProcessKilled` into the generator.
+
+        A process may intercept the exception for cleanup; re-raising (or not
+        catching) marks the process as failed unless it exits normally.
+        """
+        if not self._alive:
+            return
+        self._resume(None, ProcessKilled("killed"))
+
+    def _resume(self, value: Any, exception: BaseException | None) -> None:
+        if not self._alive:
+            return
+        try:
+            if exception is not None:
+                target = self._generator.throw(exception)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self._alive = False
+            self.succeed(stop.value)
+            return
+        except ProcessKilled as killed:
+            self._alive = False
+            self.succeed(killed)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagated via the event
+            self._alive = False
+            self.fail(exc)
+            return
+
+        if not isinstance(target, Event):
+            self._alive = False
+            error = SimulationError(
+                f"process yielded {target!r}; processes must yield Event instances"
+            )
+            self.fail(error)
+            return
+        target.add_callback(self._on_wait_complete)
+
+    def _on_wait_complete(self, event: Event) -> None:
+        if event.ok:
+            self._resume(event.value, None)
+        else:
+            value = event.value
+            if isinstance(value, BaseException):
+                self._resume(None, value)
+            else:
+                self._resume(None, SimulationError(f"event failed with {value!r}"))

@@ -1,0 +1,54 @@
+"""Workload generators.
+
+Synthetic workloads (§V-A1): perfectly clustered accesses, approximately
+clustered accesses driven by a bounded Pareto distribution, uniform accesses,
+plus the time-varying variants used by the convergence experiments (a sudden
+cluster formation, Fig. 4, and slowly drifting clusters, Fig. 5).
+
+Realistic workloads (§V-B1): graph topologies standing in for the Amazon
+co-purchase and Orkut friendship snapshots, down-sampled by random walks with
+15 % restart, with transactions generated as 5-node random walks.
+"""
+
+from repro.workloads.base import Workload, key_for, index_of
+from repro.workloads.graphs import (
+    GraphStats,
+    amazon_like_graph,
+    orkut_like_graph,
+    topology_stats,
+)
+from repro.workloads.sampling import random_walk_sample
+from repro.workloads.stats import WorkloadProfile, pair_affinity, profile_workload
+from repro.workloads.synthetic import (
+    DriftingClusterWorkload,
+    ParetoClusterWorkload,
+    PerfectClusterWorkload,
+    PhaseSwitchWorkload,
+    UniformWorkload,
+)
+from repro.workloads.trace import TraceRecorder, TraceWorkload, load_trace, save_trace
+from repro.workloads.walker import RandomWalkWorkload
+
+__all__ = [
+    "DriftingClusterWorkload",
+    "GraphStats",
+    "ParetoClusterWorkload",
+    "PerfectClusterWorkload",
+    "PhaseSwitchWorkload",
+    "RandomWalkWorkload",
+    "TraceRecorder",
+    "TraceWorkload",
+    "UniformWorkload",
+    "Workload",
+    "WorkloadProfile",
+    "amazon_like_graph",
+    "index_of",
+    "key_for",
+    "load_trace",
+    "orkut_like_graph",
+    "pair_affinity",
+    "profile_workload",
+    "random_walk_sample",
+    "save_trace",
+    "topology_stats",
+]

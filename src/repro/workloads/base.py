@@ -1,0 +1,47 @@
+"""Workload protocol and key-naming helpers.
+
+A workload produces, on demand, the access set of one transaction — the same
+generator drives both update transactions (against the database) and
+read-only transactions (against the cache), as in §IV where both transaction
+types "access 5 objects per transaction" from the same distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.types import Key
+
+__all__ = ["Workload", "key_for", "index_of"]
+
+_KEY_PREFIX = "o"
+_KEY_WIDTH = 6
+
+
+def key_for(index: int) -> Key:
+    """Stable object key for a numeric object index (``7 -> 'o000007'``)."""
+    return f"{_KEY_PREFIX}{index:0{_KEY_WIDTH}d}"
+
+
+def index_of(key: Key) -> int:
+    """Inverse of :func:`key_for`."""
+    return int(key[len(_KEY_PREFIX):])
+
+
+@runtime_checkable
+class Workload(Protocol):
+    """What the clients and the experiment runner need from a workload."""
+
+    def access_set(self, rng: np.random.Generator, now: float) -> list[Key]:
+        """The keys one transaction accesses, in access order.
+
+        ``now`` is the simulation time; time-varying workloads (cluster
+        formation, drift) use it to select the active cluster structure.
+        """
+        ...
+
+    def all_keys(self) -> Sequence[Key]:
+        """Every key the workload can touch, for the initial database load."""
+        ...

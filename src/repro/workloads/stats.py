@@ -1,0 +1,126 @@
+"""Quantitative workload characterisation.
+
+T-Cache's efficacy is a function of workload structure — clustering of
+access sets, popularity skew, transaction width. This module measures those
+properties directly from a workload generator, so experiments can report
+*why* a workload behaves the way it does and tests can assert that the
+synthetic stand-ins land in the intended regimes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import Workload
+
+__all__ = ["WorkloadProfile", "profile_workload", "pair_affinity"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadProfile:
+    """Empirical statistics of a workload's access sets."""
+
+    samples: int
+    #: Mean/min/max number of distinct keys per transaction.
+    mean_txn_size: float
+    min_txn_size: int
+    max_txn_size: int
+    #: Fraction of the key universe ever touched.
+    coverage: float
+    #: Gini coefficient of per-key access counts (0 = uniform popularity).
+    popularity_gini: float
+    #: Mean, over sampled transactions, of the probability that a uniformly
+    #: chosen *pair* of accessed keys co-occurred in an earlier sampled
+    #: transaction — the co-access recurrence that dependency lists exploit.
+    pair_recurrence: float
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "samples": self.samples,
+            "mean_txn_size": round(self.mean_txn_size, 2),
+            "coverage": round(self.coverage, 3),
+            "popularity_gini": round(self.popularity_gini, 3),
+            "pair_recurrence": round(self.pair_recurrence, 3),
+        }
+
+
+def profile_workload(
+    workload: Workload,
+    *,
+    samples: int = 2000,
+    rng: np.random.Generator | None = None,
+    now: float = 0.0,
+) -> WorkloadProfile:
+    """Draw ``samples`` transactions and summarise their structure."""
+    if samples < 2:
+        raise ConfigurationError(f"need at least 2 samples, got {samples}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    key_counts: Counter = Counter()
+    seen_pairs: set[tuple[str, str]] = set()
+    sizes: list[int] = []
+    recurrence_hits = 0
+    recurrence_trials = 0
+
+    for _ in range(samples):
+        accesses = list(dict.fromkeys(workload.access_set(rng, now)))
+        sizes.append(len(accesses))
+        key_counts.update(accesses)
+        pairs = {
+            (a, b) if a < b else (b, a)
+            for i, a in enumerate(accesses)
+            for b in accesses[i + 1:]
+        }
+        for pair in pairs:
+            recurrence_trials += 1
+            if pair in seen_pairs:
+                recurrence_hits += 1
+        seen_pairs.update(pairs)
+
+    universe = len(workload.all_keys())
+    return WorkloadProfile(
+        samples=samples,
+        mean_txn_size=float(np.mean(sizes)),
+        min_txn_size=min(sizes),
+        max_txn_size=max(sizes),
+        coverage=len(key_counts) / universe if universe else 0.0,
+        popularity_gini=_gini(key_counts, universe),
+        pair_recurrence=(
+            recurrence_hits / recurrence_trials if recurrence_trials else 0.0
+        ),
+    )
+
+
+def pair_affinity(
+    workload: Workload,
+    *,
+    samples: int = 2000,
+    rng: np.random.Generator | None = None,
+    top: int = 10,
+) -> list[tuple[tuple[str, str], int]]:
+    """The most frequently co-accessed key pairs, with counts."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    pair_counts: Counter = Counter()
+    for _ in range(samples):
+        accesses = list(dict.fromkeys(workload.access_set(rng, 0.0)))
+        for i, a in enumerate(accesses):
+            for b in accesses[i + 1:]:
+                pair_counts[(a, b) if a < b else (b, a)] += 1
+    return pair_counts.most_common(top)
+
+
+def _gini(counts: Counter, universe: int) -> float:
+    """Gini coefficient over the whole universe (untouched keys count 0)."""
+    values = np.zeros(universe, dtype=float)
+    observed = np.fromiter(counts.values(), dtype=float, count=len(counts))
+    values[: len(observed)] = np.sort(observed)
+    values.sort()
+    if values.sum() == 0:
+        return 0.0
+    n = len(values)
+    index = np.arange(1, n + 1)
+    return float((2.0 * (index * values).sum() / (n * values.sum())) - (n + 1) / n)

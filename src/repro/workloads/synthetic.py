@@ -1,0 +1,192 @@
+"""Synthetic workloads (§V-A1) and their time-varying variants.
+
+The basic construction uses ``n_objects`` objects divided into clusters of
+``cluster_size`` (paper: 2000 objects, clusters of 5). Two static families:
+
+* **perfect clustering** — each transaction picks one cluster uniformly and
+  draws all its accesses (with repetition) inside that cluster;
+* **approximate clustering** — each access is the cluster head plus a
+  bounded-Pareto offset, wrapping around the object range, so small Pareto
+  ``alpha`` degrades towards uniform access and large ``alpha`` approaches
+  perfect clustering (Fig. 3 sweeps ``alpha`` from 1/32 to 4).
+
+Two dynamic wrappers reproduce the convergence experiments:
+
+* :class:`PhaseSwitchWorkload` — uniform accesses until a switch time, then
+  perfectly clustered (Fig. 4, switch at t=58 s);
+* :class:`DriftingClusterWorkload` — perfectly clustered, but the cluster
+  boundaries shift by one object every ``shift_interval`` seconds, wrapping
+  at the end of the range (Fig. 5, shift every 3 minutes).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import BoundedPareto
+from repro.types import Key
+from repro.workloads.base import key_for
+
+__all__ = [
+    "PerfectClusterWorkload",
+    "ParetoClusterWorkload",
+    "UniformWorkload",
+    "PhaseSwitchWorkload",
+    "DriftingClusterWorkload",
+]
+
+
+class _SyntheticBase:
+    """Shared validation and key universe for the synthetic families."""
+
+    def __init__(self, n_objects: int, txn_size: int) -> None:
+        if n_objects < 1:
+            raise ConfigurationError(f"n_objects must be positive, got {n_objects}")
+        if txn_size < 1:
+            raise ConfigurationError(f"txn_size must be positive, got {txn_size}")
+        self.n_objects = n_objects
+        self.txn_size = txn_size
+        self._keys = [key_for(i) for i in range(n_objects)]
+
+    def all_keys(self) -> Sequence[Key]:
+        return self._keys
+
+
+class UniformWorkload(_SyntheticBase):
+    """Every access uniform over the whole object range (no clustering)."""
+
+    def __init__(self, n_objects: int = 2000, txn_size: int = 5) -> None:
+        super().__init__(n_objects, txn_size)
+
+    def access_set(self, rng: np.random.Generator, now: float) -> list[Key]:
+        indices = rng.integers(0, self.n_objects, size=self.txn_size)
+        return [self._keys[i] for i in indices]
+
+
+class PerfectClusterWorkload(_SyntheticBase):
+    """Accesses fully contained in one uniformly chosen cluster.
+
+    "Clustering is perfect and each transaction chooses a single cluster and
+    chooses 5 times with repetitions within this cluster."
+    """
+
+    def __init__(
+        self, n_objects: int = 2000, cluster_size: int = 5, txn_size: int = 5
+    ) -> None:
+        super().__init__(n_objects, txn_size)
+        if cluster_size < 1 or n_objects % cluster_size:
+            raise ConfigurationError(
+                f"cluster_size {cluster_size} must divide n_objects {n_objects}"
+            )
+        self.cluster_size = cluster_size
+        self.n_clusters = n_objects // cluster_size
+
+    def access_set(self, rng: np.random.Generator, now: float) -> list[Key]:
+        head = int(rng.integers(0, self.n_clusters)) * self.cluster_size
+        offsets = rng.integers(0, self.cluster_size, size=self.txn_size)
+        return [self._keys[head + int(o)] for o in offsets]
+
+
+class ParetoClusterWorkload(_SyntheticBase):
+    """Approximately clustered accesses via a bounded Pareto offset.
+
+    "Each object is chosen using a bounded Pareto distribution starting at
+    the head of its cluster i (a product of 5). If the Pareto variable plus
+    the offset results in a number outside the range (i.e., larger than
+    1999), the count wraps back to 0."
+    """
+
+    def __init__(
+        self,
+        n_objects: int = 2000,
+        cluster_size: int = 5,
+        alpha: float = 1.0,
+        txn_size: int = 5,
+    ) -> None:
+        super().__init__(n_objects, txn_size)
+        if cluster_size < 1 or n_objects % cluster_size:
+            raise ConfigurationError(
+                f"cluster_size {cluster_size} must divide n_objects {n_objects}"
+            )
+        self.cluster_size = cluster_size
+        self.n_clusters = n_objects // cluster_size
+        self.alpha = alpha
+        self._pareto = BoundedPareto(alpha, low=1.0, high=float(n_objects))
+
+    def access_set(self, rng: np.random.Generator, now: float) -> list[Key]:
+        head = int(rng.integers(0, self.n_clusters)) * self.cluster_size
+        accesses = []
+        for _ in range(self.txn_size):
+            offset = self._pareto.sample_offset(rng)
+            accesses.append(self._keys[(head + offset) % self.n_objects])
+        return accesses
+
+
+class PhaseSwitchWorkload:
+    """Delegates to one workload before ``switch_time`` and another after.
+
+    Fig. 4 uses ``PhaseSwitchWorkload(UniformWorkload(1000),
+    PerfectClusterWorkload(1000), switch_time=58.0)``.
+    """
+
+    def __init__(self, before, after, switch_time: float) -> None:
+        before_keys = list(before.all_keys())
+        after_keys = list(after.all_keys())
+        if set(before_keys) != set(after_keys):
+            raise ConfigurationError(
+                "phase workloads must share one key universe "
+                f"({len(before_keys)} vs {len(after_keys)} keys)"
+            )
+        self.before = before
+        self.after = after
+        self.switch_time = switch_time
+
+    def access_set(self, rng: np.random.Generator, now: float) -> list[Key]:
+        active = self.before if now < self.switch_time else self.after
+        return active.access_set(rng, now)
+
+    def all_keys(self) -> Sequence[Key]:
+        return self.before.all_keys()
+
+
+class DriftingClusterWorkload(_SyntheticBase):
+    """Perfect clusters whose boundaries shift by one every interval.
+
+    "Every 3 minutes the cluster structure shifts by 1 (0-4, 5-9, 10-14 ->
+    1-4(sic), 5-10, 11-15 ...), and wrapping back to zero after 1999."
+    After ``s`` shifts, cluster ``j`` covers indices
+    ``(j*cluster_size + s) mod n`` through ``(j*cluster_size + s +
+    cluster_size - 1) mod n``.
+    """
+
+    def __init__(
+        self,
+        n_objects: int = 2000,
+        cluster_size: int = 5,
+        shift_interval: float = 180.0,
+        txn_size: int = 5,
+    ) -> None:
+        super().__init__(n_objects, txn_size)
+        if cluster_size < 1 or n_objects % cluster_size:
+            raise ConfigurationError(
+                f"cluster_size {cluster_size} must divide n_objects {n_objects}"
+            )
+        if shift_interval <= 0:
+            raise ConfigurationError(
+                f"shift_interval must be positive, got {shift_interval}"
+            )
+        self.cluster_size = cluster_size
+        self.n_clusters = n_objects // cluster_size
+        self.shift_interval = shift_interval
+
+    def shift_at(self, now: float) -> int:
+        return int(now / self.shift_interval)
+
+    def access_set(self, rng: np.random.Generator, now: float) -> list[Key]:
+        shift = self.shift_at(now)
+        head = int(rng.integers(0, self.n_clusters)) * self.cluster_size + shift
+        offsets = rng.integers(0, self.cluster_size, size=self.txn_size)
+        return [self._keys[(head + int(o)) % self.n_objects] for o in offsets]

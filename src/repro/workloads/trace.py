@@ -1,0 +1,123 @@
+"""Workload trace recording and replay.
+
+Real deployments tune T-Cache against production traces (§III: "we require
+the developer to tune the length so that the frequency of errors is reduced
+to an acceptable level"). This module provides the tooling for that loop:
+
+* :class:`TraceRecorder` wraps any workload and records every access set it
+  produces (with the timestamp of the request);
+* :class:`TraceWorkload` replays a recorded trace verbatim — across
+  processes too, via the JSON-lines serialisation — so different cache
+  configurations can be compared on *identical* access sequences rather
+  than merely identically-distributed ones.
+
+Replay semantics: accesses are consumed in recording order; ``cycle=True``
+wraps around at the end (useful when the replayed run is longer than the
+recording).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.types import Key
+from repro.workloads.base import Workload
+
+__all__ = ["TraceRecorder", "TraceWorkload", "load_trace", "save_trace"]
+
+
+class TraceRecorder:
+    """A pass-through workload that records every access set it hands out."""
+
+    def __init__(self, inner: Workload) -> None:
+        self._inner = inner
+        self.records: list[tuple[float, list[Key]]] = []
+
+    def access_set(self, rng: np.random.Generator, now: float) -> list[Key]:
+        accesses = self._inner.access_set(rng, now)
+        self.records.append((now, list(accesses)))
+        return accesses
+
+    def all_keys(self) -> Sequence[Key]:
+        return self._inner.all_keys()
+
+    def trace(self) -> "TraceWorkload":
+        """Freeze the recording into a replayable workload."""
+        return TraceWorkload(
+            [accesses for _, accesses in self.records],
+            all_keys=list(self._inner.all_keys()),
+        )
+
+
+class TraceWorkload:
+    """Replays a fixed sequence of access sets."""
+
+    def __init__(
+        self,
+        access_sets: Iterable[Sequence[Key]],
+        *,
+        all_keys: Sequence[Key] | None = None,
+        cycle: bool = True,
+    ) -> None:
+        self._sets = [list(accesses) for accesses in access_sets]
+        if not self._sets:
+            raise ConfigurationError("trace is empty")
+        if all_keys is None:
+            seen: dict[Key, None] = {}
+            for accesses in self._sets:
+                for key in accesses:
+                    seen.setdefault(key, None)
+            all_keys = list(seen)
+        self._all_keys = list(all_keys)
+        self._cycle = cycle
+        self._cursor = 0
+        #: Times the replay wrapped around (0 when the run fits the trace).
+        self.wraps = 0
+
+    def access_set(self, rng: np.random.Generator, now: float) -> list[Key]:
+        if self._cursor >= len(self._sets):
+            if not self._cycle:
+                raise ConfigurationError(
+                    f"trace exhausted after {len(self._sets)} transactions"
+                )
+            self._cursor = 0
+            self.wraps += 1
+        accesses = self._sets[self._cursor]
+        self._cursor += 1
+        return list(accesses)
+
+    def all_keys(self) -> Sequence[Key]:
+        return self._all_keys
+
+    def reset(self) -> None:
+        """Rewind to the beginning (fresh replay of the same trace)."""
+        self._cursor = 0
+        self.wraps = 0
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+
+def save_trace(trace: TraceWorkload | TraceRecorder, path: str | Path) -> None:
+    """Write a trace as JSON lines (one access set per line)."""
+    if isinstance(trace, TraceRecorder):
+        trace = trace.trace()
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"all_keys": list(trace.all_keys())}) + "\n")
+        for index in range(len(trace)):
+            handle.write(json.dumps(trace._sets[index]) + "\n")
+
+
+def load_trace(path: str | Path, *, cycle: bool = True) -> TraceWorkload:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header = json.loads(handle.readline())
+        sets = [json.loads(line) for line in handle if line.strip()]
+    return TraceWorkload(sets, all_keys=header["all_keys"], cycle=cycle)

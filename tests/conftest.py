@@ -1,0 +1,62 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db.database import Database, DatabaseConfig, TimingConfig
+from repro.sim.core import Simulator
+from repro.types import CommittedTransaction, Key
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def fast_timing() -> TimingConfig:
+    """Zero-latency transaction phases: commits happen at submission time."""
+    return TimingConfig(lock_delay=0.0, execute_delay=0.0, prepare_delay=0.0, commit_delay=0.0)
+
+
+@pytest.fixture
+def database(sim: Simulator, fast_timing: TimingConfig) -> Database:
+    """Single-shard database with k=5 dependency lists and instant phases."""
+    return Database(sim, DatabaseConfig(deplist_max=5, timing=fast_timing))
+
+
+def commit_update(
+    sim: Simulator,
+    database: Database,
+    keys: list[Key],
+    *,
+    value: object = "v",
+    write_keys: list[Key] | None = None,
+) -> CommittedTransaction:
+    """Run one update transaction to completion and return its record.
+
+    ``keys`` is the read set; ``write_keys`` defaults to the full read set
+    (the paper's read-all-write-all update transactions).
+    """
+    targets = write_keys if write_keys is not None else keys
+    process = database.execute_update(
+        read_keys=keys, writes={key: value for key in targets}
+    )
+    sim.run()
+    if not process.triggered:
+        raise AssertionError("update transaction did not finish")
+    if not process.ok:
+        raise process.value
+    return process.value
+
+
+def drain(sim: Simulator) -> None:
+    """Run the simulator until the event queue is empty."""
+    sim.run()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,71 @@
+"""Test doubles and small utilities shared across the suite."""
+
+from __future__ import annotations
+
+from repro.core.deplist import DependencyList, UNBOUNDED
+from repro.errors import KeyNotFound
+from repro.types import CommittedTransaction, Key, Version, VersionedValue
+
+__all__ = ["FakeBackend"]
+
+
+class FakeBackend:
+    """An in-memory stand-in for the database's cache-facing surface.
+
+    Provides ``read_entry`` plus helpers to install new versions with
+    §III-A dependency-list maintenance, so cache unit tests can drive
+    arbitrary version histories without a simulator or 2PC machinery.
+    """
+
+    def __init__(self, initial: dict[Key, object] | None = None, *, deplist_max: int = UNBOUNDED) -> None:
+        self._entries: dict[Key, VersionedValue] = {}
+        self._version: Version = 0
+        self.deplist_max = deplist_max
+        self.reads = 0
+        self.history: list[CommittedTransaction] = []
+        for key, value in (initial or {}).items():
+            self._entries[key] = VersionedValue(key=key, value=value, version=0)
+
+    # ------------------------------------------------------------------
+    # BackendReader protocol
+    # ------------------------------------------------------------------
+
+    def read_entry(self, key: Key) -> VersionedValue:
+        self.reads += 1
+        entry = self._entries.get(key)
+        if entry is None:
+            raise KeyNotFound(key)
+        return entry
+
+    # ------------------------------------------------------------------
+    # History construction
+    # ------------------------------------------------------------------
+
+    def commit(self, keys: list[Key], value: object = None) -> CommittedTransaction:
+        """Run a read-all-write-all update transaction over ``keys``."""
+        self._version += 1
+        version = self._version
+        reads = {key: self._entries[key].version for key in keys}
+        direct = {key: version for key in keys}
+        inherited = [DependencyList(self._entries[key].deps) for key in keys]
+        for key in keys:
+            deps = DependencyList.merge(
+                direct, inherited, max_len=self.deplist_max, exclude=key
+            )
+            self._entries[key] = VersionedValue(
+                key=key,
+                value=value if value is not None else f"v{version}",
+                version=version,
+                deps=deps.entries,
+            )
+        committed = CommittedTransaction(
+            txn_id=version, reads=reads, writes={key: version for key in keys}
+        )
+        self.history.append(committed)
+        return committed
+
+    def entry(self, key: Key) -> VersionedValue:
+        return self._entries[key]
+
+    def version_of(self, key: Key) -> Version:
+        return self._entries[key].version

@@ -1,0 +1,135 @@
+"""Integration tests: failure injection on the invalidation path and the
+database, and the anti-dependency boundary of Theorem 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deplist import UNBOUNDED
+from repro.core.strategies import Strategy
+from repro.core.tcache import TCache
+from repro.db.database import Database, DatabaseConfig, TimingConfig
+from repro.monitor.sgt import SerializationGraphTester
+from repro.sim.core import Simulator
+from tests.conftest import commit_update
+
+
+@pytest.fixture
+def db(sim: Simulator) -> Database:
+    database = Database(
+        sim, DatabaseConfig(deplist_max=UNBOUNDED, timing=TimingConfig(0, 0, 0, 0))
+    )
+    database.load({key: 0 for key in ("o1", "o2", "m", "x")})
+    return database
+
+
+class TestInvalidationPathologies:
+    def test_reordered_invalidations_do_not_resurrect_stale_data(self, sim, db) -> None:
+        cache = TCache(sim, db)
+        tx1 = commit_update(sim, db, ["x"])
+        tx2 = commit_update(sim, db, ["x"])
+        cache.read(1, "x", last_op=True)  # caches x@tx2
+        # The old invalidation arrives late (out of order): must be a no-op.
+        from repro.db.invalidation import InvalidationRecord
+
+        cache.handle_invalidation(
+            InvalidationRecord(key="x", version=tx1.txn_id, txn_id=tx1.txn_id, commit_time=0.0)
+        )
+        assert cache.storage.version_of("x") == tx2.txn_id
+        assert cache.stats.invalidations_ignored == 1
+
+    def test_duplicate_invalidations_are_idempotent(self, sim, db) -> None:
+        cache = TCache(sim, db)
+        tx = commit_update(sim, db, ["x"])
+        cache.read(1, "x", last_op=True)
+        from repro.db.invalidation import InvalidationRecord
+
+        record = InvalidationRecord(
+            key="x", version=tx.txn_id + 100, txn_id=tx.txn_id + 100, commit_time=0.0
+        )
+        cache.handle_invalidation(record)
+        cache.handle_invalidation(record)
+        assert cache.stats.invalidations_applied == 1
+        assert cache.stats.invalidations_ignored == 1
+
+
+class TestTheorem1Boundary:
+    """Theorem 1 holds for the paper's transaction model, where an update
+    transaction *writes every object it touches* (§III-A: a transaction
+    "updates both their versions and their dependency lists"). With partial
+    write sets, anti-dependency (read-write) edges leave no trace in any
+    dependency list, and even unbounded T-Cache can miss a genuine
+    inconsistency. These tests pin down both sides of that boundary.
+    """
+
+    def test_write_all_discipline_detects_the_chain(self, sim, db) -> None:
+        cache = TCache(sim, db, strategy=Strategy.ABORT)
+        cache.read(100, "o2", last_op=True)            # caches o2@0
+        commit_update(sim, db, ["o2", "m"])            # U2 writes both
+        commit_update(sim, db, ["m"])                  # U3 overwrites m
+        commit_update(sim, db, ["m", "o1"])            # U1 reads m, writes o1
+        # No invalidations were delivered (none registered): o2 stale.
+        cache.read(1, "o1")
+        from repro.errors import InconsistencyDetected
+
+        with pytest.raises(InconsistencyDetected):
+            cache.read(1, "o2", last_op=True)
+
+    def test_partial_writes_evade_unbounded_tcache(self, sim, db) -> None:
+        """The documented divergence: U2 reads m but does not write it, so
+        the RW edge U2 -> U3 never enters a dependency list; the monitor's
+        full serialization-graph test still catches the cycle."""
+        cache = TCache(sim, db, strategy=Strategy.ABORT)
+        tester = SerializationGraphTester()
+        db.add_commit_listener(tester.record_update)
+
+        cache.read(100, "o2", last_op=True)  # caches o2@0
+        # U2: reads {o2, m}, writes only o2.
+        commit_update(sim, db, ["o2", "m"], write_keys=["o2"])
+        # U3: overwrites m (RW edge U2 -> U3, invisible to dep lists).
+        commit_update(sim, db, ["m"])
+        # U1: reads m, writes o1 (WR edge U3 -> U1).
+        commit_update(sim, db, ["m", "o1"], write_keys=["o1"])
+
+        cache.read(1, "o1")
+        result = cache.read(1, "o2", last_op=True)  # T-Cache lets it through
+        assert result.version == 0
+        assert cache.stats.transactions_committed >= 1
+        # ... but the read set is genuinely non-serializable.
+        assert not tester.is_consistent(
+            {"o1": db.current_version_of("o1"), "o2": 0}
+        )
+
+
+class TestDatabaseFailureRecovery:
+    def test_crash_between_prepare_and_commit_recovers_committed(self, sim) -> None:
+        """A participant that crashes after voting YES learns the commit
+        decision from the coordinator on recovery (in-doubt resolution)."""
+        timing = TimingConfig(0.0, 0.0, 0.0, 0.05)  # long decision window
+        database = Database(sim, DatabaseConfig(timing=timing))
+        database.load({"a": 0})
+        process = database.execute_update(read_keys=["a"], writes={"a": "decided"})
+        # Run until the decision is logged but before commit delivery.
+        sim.run(until=0.01)
+        participant = database.participants[0]
+        assert database.coordinator.decisions.get(1) is True
+        in_doubt = participant.wal.prepared_undecided()
+        assert set(in_doubt) == {1}
+        participant.crash()
+        resolutions = participant.recover(database.coordinator.decisions)
+        assert "in-doubt" in resolutions[1]
+        installed = participant.complete_recovered_commit(
+            1, version=1, deps_per_key={"a": __import__("repro.core.deplist", fromlist=["DependencyList"]).DependencyList()}
+        )
+        assert installed[0].value == "decided"
+
+    def test_post_recovery_database_serves_reads(self, sim) -> None:
+        database = Database(sim, DatabaseConfig(timing=TimingConfig(0, 0, 0, 0)))
+        database.load({"a": 0})
+        commit_update(sim, database, ["a"], value="v1")
+        participant = database.participants[0]
+        participant.crash()
+        participant.recover(database.coordinator.decisions)
+        assert database.read_entry("a").value == "v1"
+        commit_update(sim, database, ["a"], value="v2")
+        assert database.read_entry("a").value == "v2"

@@ -1,0 +1,115 @@
+"""Integration tests: two-phase commit across multiple participants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.database import Database, DatabaseConfig, TimingConfig
+from repro.db.wal import RecordType
+from repro.monitor.sgt import SerializationGraphTester
+from repro.sim.core import Simulator
+from tests.conftest import commit_update
+
+
+@pytest.fixture
+def sharded_db(sim: Simulator) -> Database:
+    db = Database(
+        sim,
+        DatabaseConfig(
+            shards=4, deplist_max=5, timing=TimingConfig(0.0, 0.002, 0.001, 0.001)
+        ),
+    )
+    db.load({f"k{i}": 0 for i in range(40)})
+    return db
+
+
+def spanning_keys(db: Database, count: int = 4) -> list[str]:
+    """Keys guaranteed to touch more than one participant."""
+    by_shard: dict[str, list[str]] = {}
+    for i in range(40):
+        key = f"k{i}"
+        by_shard.setdefault(db.shard_for(key).name, []).append(key)
+    shards = sorted(by_shard)
+    keys = []
+    for index in range(count):
+        shard = shards[index % len(shards)]
+        if by_shard[shard]:
+            keys.append(by_shard[shard].pop(0))
+    return keys
+
+
+class TestCrossShardCommit:
+    def test_transaction_spans_participants(self, sim, sharded_db) -> None:
+        keys = spanning_keys(sharded_db)
+        shards = {sharded_db.shard_for(k).name for k in keys}
+        assert len(shards) > 1
+        committed = commit_update(sim, sharded_db, keys)
+        for key in keys:
+            assert sharded_db.read_entry(key).version == committed.txn_id
+
+    def test_every_involved_participant_logs_prepare_and_commit(
+        self, sim, sharded_db
+    ) -> None:
+        keys = spanning_keys(sharded_db)
+        commit_update(sim, sharded_db, keys)
+        involved = {sharded_db.shard_for(k) for k in keys}
+        for participant in involved:
+            types = [r.record_type for r in participant.wal]
+            assert RecordType.PREPARE in types
+            assert RecordType.COMMIT in types
+
+    def test_dependency_lists_span_shards(self, sim, sharded_db) -> None:
+        keys = spanning_keys(sharded_db)
+        committed = commit_update(sim, sharded_db, keys)
+        entry = sharded_db.read_entry(keys[0])
+        for other in keys[1:]:
+            assert entry.dep_on(other) == committed.txn_id
+
+    def test_concurrent_cross_shard_transactions_serialize(self, sim, sharded_db) -> None:
+        keys = [f"k{i}" for i in range(40)]
+        tester = SerializationGraphTester()
+        sharded_db.add_commit_listener(tester.record_update)
+        processes = []
+        for start in range(0, 40, 5):
+            group = keys[start : start + 5]
+            processes.append(
+                sharded_db.execute_update(read_keys=group, writes={k: start for k in group})
+            )
+        # Overlapping groups force conflicts.
+        for start in range(0, 35, 5):
+            group = keys[start + 2 : start + 8]
+            processes.append(
+                sharded_db.execute_update(read_keys=group, writes={k: -start for k in group})
+            )
+        sim.run()
+        committed = [p for p in processes if p.ok]
+        assert len(committed) >= 8  # most commit; wounds may abort a few
+        assert tester.verify_update_dag()
+
+
+class TestCrossShardAbort:
+    def test_one_crashed_participant_aborts_everywhere(self, sim, sharded_db) -> None:
+        keys = spanning_keys(sharded_db)
+        victim = sharded_db.shard_for(keys[0])
+        survivor = sharded_db.shard_for(keys[1])
+        assert victim is not survivor
+        process = sharded_db.execute_update(
+            read_keys=keys, writes={k: "doomed" for k in keys}
+        )
+        victim.crash()
+        sim.run()
+        assert process.triggered and not process.ok
+        # The surviving participant must not have installed anything.
+        assert sharded_db.shard_for(keys[1]).store.get(keys[1]).version == 0
+        types = [r.record_type for r in survivor.wal if r.txn_id == 1]
+        assert RecordType.COMMIT not in types
+
+    def test_recovery_resolves_in_doubt_against_coordinator(self, sim, sharded_db) -> None:
+        keys = spanning_keys(sharded_db)
+        commit_update(sim, sharded_db, keys, value="pre-crash")
+        victim = sharded_db.shard_for(keys[0])
+        victim.crash()
+        resolutions = victim.recover(sharded_db.coordinator.decisions)
+        # The committed transaction is decided; nothing is in doubt.
+        assert resolutions == {}
+        assert victim.store.get(keys[0]).value == "pre-crash"

@@ -1,0 +1,102 @@
+"""Property-based test: arbitrary concurrent update mixes stay serializable.
+
+Randomized batches of overlapping update transactions are thrown at the
+multi-shard database with non-zero phase latencies (so executions genuinely
+interleave); the committed history must always form a conflict DAG in
+version order, reads must observe committed versions, and every object must
+end at its last writer's version.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.database import Database, DatabaseConfig, TimingConfig
+from repro.monitor.sgt import SerializationGraphTester
+from repro.sim.core import Simulator
+
+KEYS = [f"k{i}" for i in range(8)]
+
+
+@st.composite
+def transaction_batches(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    batch = []
+    for _ in range(n):
+        keys = draw(st.lists(st.sampled_from(KEYS), min_size=1, max_size=4, unique=True))
+        delay = draw(st.floats(min_value=0.0, max_value=0.02))
+        batch.append((keys, delay))
+    return batch
+
+
+def run_batch(batch, shards: int):
+    sim = Simulator()
+    database = Database(
+        sim,
+        DatabaseConfig(
+            shards=shards,
+            deplist_max=5,
+            timing=TimingConfig(0.0, 0.005, 0.001, 0.001),
+        ),
+    )
+    database.load({key: 0 for key in KEYS})
+    tester = SerializationGraphTester()
+    database.add_commit_listener(tester.record_update)
+
+    processes = []
+
+    def submit(keys, tag):
+        processes.append(
+            database.execute_update(read_keys=keys, writes={k: tag for k in keys})
+        )
+
+    for index, (keys, delay) in enumerate(batch):
+        sim.schedule(delay, lambda ks=keys, i=index: submit(ks, i))
+    sim.run()
+    return database, tester, processes
+
+
+class TestSerializability:
+    @given(transaction_batches(), st.sampled_from([1, 3]))
+    @settings(max_examples=60, deadline=None)
+    def test_committed_history_is_conflict_dag(self, batch, shards) -> None:
+        database, tester, processes = run_batch(batch, shards)
+        assert tester.verify_update_dag()
+        # Every transaction terminated one way or the other.
+        assert all(p.triggered for p in processes)
+        assert database.stats.committed + database.stats.aborted >= len(batch)
+
+    @given(transaction_batches(), st.sampled_from([1, 3]))
+    @settings(max_examples=60, deadline=None)
+    def test_reads_observe_committed_predecessors(self, batch, shards) -> None:
+        _, tester, processes = run_batch(batch, shards)
+        committed = [p.value for p in processes if p.ok]
+        by_version = {txn.txn_id: txn for txn in committed}
+        for txn in committed:
+            for key, version in txn.reads.items():
+                if version == 0:
+                    continue
+                writer = by_version.get(version)
+                assert writer is not None, "read an uncommitted version"
+                assert key in writer.writes
+                assert version < txn.txn_id
+
+    @given(transaction_batches())
+    @settings(max_examples=40, deadline=None)
+    def test_final_state_matches_last_writer(self, batch) -> None:
+        database, _, processes = run_batch(batch, shards=1)
+        committed = [p.value for p in processes if p.ok]
+        last_writer: dict[str, int] = {}
+        for txn in committed:
+            for key in txn.writes:
+                last_writer[key] = max(last_writer.get(key, 0), txn.txn_id)
+        for key, version in last_writer.items():
+            assert database.read_entry(key).version == version
+
+    @given(transaction_batches())
+    @settings(max_examples=40, deadline=None)
+    def test_snapshot_of_final_versions_is_consistent(self, batch) -> None:
+        database, tester, _ = run_batch(batch, shards=1)
+        final = {key: database.read_entry(key).version for key in KEYS}
+        assert tester.is_consistent(final)

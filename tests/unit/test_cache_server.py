@@ -1,0 +1,137 @@
+"""Unit tests for the consistency-unaware cache server baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.base import CacheServer
+from repro.db.invalidation import InvalidationRecord
+from repro.sim.core import Simulator
+from repro.types import TransactionOutcome
+from tests.helpers import FakeBackend
+
+
+@pytest.fixture
+def backend() -> FakeBackend:
+    return FakeBackend({"a": "a0", "b": "b0", "c": "c0"})
+
+
+@pytest.fixture
+def cache(sim: Simulator, backend: FakeBackend) -> CacheServer:
+    return CacheServer(sim, backend)
+
+
+def invalidation(key: str, version: int) -> InvalidationRecord:
+    return InvalidationRecord(key=key, version=version, txn_id=version, commit_time=0.0)
+
+
+class TestReadPath:
+    def test_miss_fetches_from_backend(self, cache, backend) -> None:
+        result = cache.read(1, "a", last_op=True)
+        assert result.value == "a0"
+        assert result.cache_miss is True
+        assert backend.reads == 1
+        assert cache.stats.misses == 1
+
+    def test_hit_serves_from_storage(self, cache, backend) -> None:
+        cache.read(1, "a", last_op=True)
+        result = cache.read(2, "a", last_op=True)
+        assert result.cache_miss is False
+        assert backend.reads == 1
+        assert cache.stats.hits == 1
+
+    def test_hit_ratio(self, cache) -> None:
+        cache.read(1, "a", last_op=True)
+        cache.read(2, "a", last_op=True)
+        cache.read(3, "a", last_op=True)
+        assert cache.stats.hit_ratio == pytest.approx(2 / 3)
+
+    def test_baseline_never_aborts_on_stale_data(self, cache, backend) -> None:
+        cache.read(1, "a")          # caches a@0
+        backend.commit(["a", "b"])  # a, b -> version 1
+        # Stale a@0 plus fresh b@1: the baseline happily returns both.
+        result_b = cache.read(1, "b", last_op=True)
+        assert result_b.version == 1
+        assert cache.stats.transactions_committed == 1
+
+
+class TestTransactionReporting:
+    def test_committed_record_reaches_listener(self, cache) -> None:
+        records = []
+        cache.add_transaction_listener(records.append)
+        cache.read(7, "a")
+        cache.read(7, "b", last_op=True)
+        assert len(records) == 1
+        record = records[0]
+        assert record.txn_id == 7
+        assert set(record.reads) == {"a", "b"}
+        assert record.outcome is TransactionOutcome.COMMITTED
+
+    def test_client_abort_reported(self, cache) -> None:
+        records = []
+        cache.add_transaction_listener(records.append)
+        cache.read(7, "a")
+        cache.abort_transaction(7)
+        assert records[0].outcome is TransactionOutcome.ABORTED
+        assert cache.stats.transactions_aborted == 1
+
+    def test_abort_of_unknown_transaction_is_noop(self, cache) -> None:
+        cache.abort_transaction(999)
+        assert cache.stats.transactions_aborted == 0
+
+    def test_txn_id_reuse_after_last_op_starts_fresh(self, cache) -> None:
+        records = []
+        cache.add_transaction_listener(records.append)
+        cache.read(7, "a", last_op=True)
+        cache.read(7, "b", last_op=True)
+        assert len(records) == 2
+        assert set(records[0].reads) == {"a"}
+        assert set(records[1].reads) == {"b"}
+
+    def test_open_transactions_tracked(self, cache) -> None:
+        cache.read(1, "a")
+        cache.read(2, "a")
+        assert cache.open_transactions == 2
+        cache.read(1, "b", last_op=True)
+        assert cache.open_transactions == 1
+
+    def test_non_repeatable_read_flagged(self, cache, backend) -> None:
+        records = []
+        cache.add_transaction_listener(records.append)
+        cache.read(1, "a")
+        backend.commit(["a"])
+        cache.handle_invalidation(invalidation("a", 1))
+        cache.read(1, "a", last_op=True)  # re-fetches version 1
+        assert records[0].non_repeatable is True
+
+
+class TestInvalidations:
+    def test_invalidation_evicts_stale_entry(self, cache, backend) -> None:
+        cache.read(1, "a", last_op=True)
+        backend.commit(["a"])
+        cache.handle_invalidation(invalidation("a", 1))
+        assert cache.stats.invalidations_applied == 1
+        result = cache.read(2, "a", last_op=True)
+        assert result.cache_miss is True
+        assert result.version == 1
+
+    def test_stale_invalidation_ignored(self, cache, backend) -> None:
+        backend.commit(["a"])
+        cache.read(1, "a", last_op=True)  # caches a@1
+        cache.handle_invalidation(invalidation("a", 1))
+        assert cache.stats.invalidations_ignored == 1
+        assert cache.read(2, "a", last_op=True).cache_miss is False
+
+    def test_invalidation_for_uncached_key_ignored(self, cache) -> None:
+        cache.handle_invalidation(invalidation("never-read", 3))
+        assert cache.stats.invalidations_ignored == 1
+
+    def test_lost_invalidation_leaves_stale_entry(self, cache, backend) -> None:
+        """The root cause of the paper's problem: no invalidation, no
+        eviction, so the cache keeps serving the old version."""
+        cache.read(1, "a", last_op=True)
+        backend.commit(["a"])
+        # No invalidation delivered.
+        result = cache.read(2, "a", last_op=True)
+        assert result.version == 0
+        assert backend.version_of("a") == 1

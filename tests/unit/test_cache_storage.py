@@ -1,0 +1,107 @@
+"""Unit tests for cache storage: TTL expiry, capacity LRU, invalidation."""
+
+from __future__ import annotations
+
+from repro.cache.base import CacheStorage
+from repro.types import VersionedValue
+
+
+def entry(key: str, version: int = 1, value: object = None) -> VersionedValue:
+    return VersionedValue(key=key, value=value if value is not None else key, version=version)
+
+
+class TestBasicOperations:
+    def test_put_then_get(self) -> None:
+        storage = CacheStorage()
+        storage.put(entry("a", 1), now=0.0)
+        cached = storage.get("a", now=1.0)
+        assert cached is not None and cached.version == 1
+
+    def test_get_missing_returns_none(self) -> None:
+        assert CacheStorage().get("ghost", now=0.0) is None
+
+    def test_put_newer_version_replaces(self) -> None:
+        storage = CacheStorage()
+        storage.put(entry("a", 1), now=0.0)
+        storage.put(entry("a", 5), now=0.0)
+        assert storage.version_of("a") == 5
+
+    def test_put_older_version_is_ignored(self) -> None:
+        """A racing re-fetch must never roll the cache backwards."""
+        storage = CacheStorage()
+        storage.put(entry("a", 5), now=0.0)
+        storage.put(entry("a", 3), now=0.0)
+        assert storage.version_of("a") == 5
+
+    def test_len_and_contains(self) -> None:
+        storage = CacheStorage()
+        storage.put(entry("a"), now=0.0)
+        assert len(storage) == 1
+        assert "a" in storage and "b" not in storage
+
+
+class TestInvalidation:
+    def test_invalidation_removes_older_entry(self) -> None:
+        storage = CacheStorage()
+        storage.put(entry("a", 3), now=0.0)
+        assert storage.invalidate("a", version=5) is True
+        assert storage.get("a", now=0.0) is None
+
+    def test_late_invalidation_ignored(self) -> None:
+        """Reordered invalidations for versions the cache already has (or
+        newer) must not evict fresh data."""
+        storage = CacheStorage()
+        storage.put(entry("a", 7), now=0.0)
+        assert storage.invalidate("a", version=7) is False
+        assert storage.invalidate("a", version=5) is False
+        assert storage.version_of("a") == 7
+
+    def test_invalidation_of_uncached_key_ignored(self) -> None:
+        assert CacheStorage().invalidate("ghost", version=1) is False
+
+    def test_explicit_evict(self) -> None:
+        storage = CacheStorage()
+        storage.put(entry("a"), now=0.0)
+        assert storage.evict("a") is True
+        assert storage.evict("a") is False
+
+
+class TestTTL:
+    def test_entry_expires_after_ttl(self) -> None:
+        storage = CacheStorage(ttl=10.0)
+        storage.put(entry("a"), now=0.0)
+        assert storage.get("a", now=9.9) is not None
+        assert storage.get("a", now=10.0) is None
+        assert storage.stats.ttl_expirations == 1
+
+    def test_reinsert_resets_ttl(self) -> None:
+        storage = CacheStorage(ttl=10.0)
+        storage.put(entry("a", 1), now=0.0)
+        storage.put(entry("a", 2), now=8.0)
+        assert storage.get("a", now=15.0) is not None
+
+    def test_reads_do_not_extend_ttl(self) -> None:
+        """TTL measures residence time since insertion, not since last use;
+        otherwise hot stale entries would never expire."""
+        storage = CacheStorage(ttl=10.0)
+        storage.put(entry("a"), now=0.0)
+        storage.get("a", now=9.0)
+        assert storage.get("a", now=10.5) is None
+
+
+class TestCapacity:
+    def test_capacity_evicts_least_recently_used(self) -> None:
+        storage = CacheStorage(capacity=2)
+        storage.put(entry("a"), now=0.0)
+        storage.put(entry("b"), now=0.0)
+        storage.get("a", now=0.0)  # a is now more recent than b
+        storage.put(entry("c"), now=0.0)
+        assert "b" not in storage
+        assert "a" in storage and "c" in storage
+        assert storage.stats.capacity_evictions == 1
+
+    def test_capacity_one(self) -> None:
+        storage = CacheStorage(capacity=1)
+        storage.put(entry("a"), now=0.0)
+        storage.put(entry("b"), now=0.0)
+        assert "a" not in storage and "b" in storage

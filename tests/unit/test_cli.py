@@ -1,0 +1,31 @@
+"""Unit tests for the experiments command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_experiment_registry_covers_every_figure(self) -> None:
+        assert set(EXPERIMENTS) == {
+            "fig3", "fig4", "fig5", "fig6", "fig7ab", "fig7c", "fig7d",
+            "fig8", "theorem1",
+        }
+
+    def test_unknown_experiment_rejected(self, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig99"])
+        assert excinfo.value.code == 2
+
+    def test_fig7ab_runs_and_prints(self, capsys) -> None:
+        assert main(["fig7ab"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7ab" in out
+        assert "amazon" in out and "orkut" in out
+        assert "done in" in out
+
+    def test_duration_flag_parsed(self, capsys) -> None:
+        # fig7ab ignores duration but must accept the flag.
+        assert main(["fig7ab", "--duration", "5"]) == 0

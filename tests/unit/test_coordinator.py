@@ -1,0 +1,112 @@
+"""Unit tests for 2PC coordination: conflicts, wounds, serial behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.database import Database, DatabaseConfig, TimingConfig
+from repro.db.wal import RecordType
+from repro.errors import TransactionAborted
+from repro.sim.core import Simulator
+
+
+@pytest.fixture
+def slow_db(sim: Simulator) -> Database:
+    """Database whose transactions span simulated time, enabling overlap."""
+    timing = TimingConfig(lock_delay=0.0, execute_delay=0.01, prepare_delay=0.002,
+                          commit_delay=0.002)
+    db = Database(sim, DatabaseConfig(deplist_max=5, timing=timing))
+    db.load({"a": 0, "b": 0, "c": 0})
+    return db
+
+
+class TestConflicts:
+    def test_conflicting_transactions_serialize(self, sim, slow_db) -> None:
+        first = slow_db.execute_update(read_keys=["a"], writes={"a": "t1"})
+        second = slow_db.execute_update(read_keys=["a"], writes={"a": "t2"})
+        sim.run()
+        assert first.ok and second.ok
+        # The second transaction read the first one's write.
+        assert second.value.reads["a"] == first.value.txn_id
+        assert slow_db.read_entry("a").value == "t2"
+
+    def test_younger_waits_for_older_holder(self, sim, slow_db) -> None:
+        first = slow_db.execute_update(read_keys=["a"], writes={"a": 1})
+        second = slow_db.execute_update(read_keys=["a"], writes={"a": 2})
+        sim.run()
+        assert first.value.commit_time < second.value.commit_time
+
+    def test_wound_wait_aborts_younger_holder(self, sim, slow_db) -> None:
+        """An older transaction wounds a younger transaction holding its lock.
+
+        Acquisition interleaves across event-loop turns: txn1 (older) locks
+        "b" first, txn2 (younger) sneaks in and takes "c", then txn1 requests
+        "c" and — being older — wounds txn2. Wound-wait guarantees the older
+        transaction always makes progress.
+        """
+        first = slow_db.execute_update(read_keys=["b", "c"], writes={"b": 1, "c": 1})
+        second = slow_db.execute_update(read_keys=["c"], writes={"c": 2})
+        sim.run()
+        assert first.ok
+        assert second.triggered and not second.ok
+        assert isinstance(second.value, TransactionAborted)
+        assert "wounded" in str(second.value)
+        assert slow_db.participants[0].locks.wounds == 1
+        assert slow_db.read_entry("c").value == 1  # only txn1's write landed
+
+    def test_aborted_process_raises_transaction_aborted(self, sim, slow_db) -> None:
+        outcome = []
+
+        def watcher():
+            process = slow_db.execute_update(read_keys=["ghost"], writes={"ghost": 1})
+            try:
+                yield process
+            except TransactionAborted as error:
+                outcome.append(error)
+
+        sim.process(watcher())
+        sim.run()
+        assert len(outcome) == 1
+
+    def test_abort_releases_locks_for_waiters(self, sim, slow_db) -> None:
+        # txn1 reads a key that does not exist -> aborts after locking "a".
+        first = slow_db.execute_update(read_keys=["a", "ghost"], writes={"a": 1})
+        second = slow_db.execute_update(read_keys=["a"], writes={"a": 2})
+        sim.run()
+        assert not first.ok
+        assert second.ok
+        assert slow_db.read_entry("a").value == 2
+
+
+class TestDecisions:
+    def test_commit_decision_logged(self, sim, slow_db) -> None:
+        process = slow_db.execute_update(read_keys=["a"], writes={"a": 1})
+        sim.run()
+        assert process.ok
+        wal_types = [r.record_type for r in slow_db.coordinator.wal]
+        assert RecordType.DECISION_COMMIT in wal_types
+        assert slow_db.coordinator.decisions[1] is True
+
+    def test_abort_decision_logged(self, sim, slow_db) -> None:
+        process = slow_db.execute_update(read_keys=["ghost"], writes={"ghost": 1})
+        sim.run()
+        assert not process.ok
+        wal_types = [r.record_type for r in slow_db.coordinator.wal]
+        assert RecordType.DECISION_ABORT in wal_types
+        assert slow_db.coordinator.decisions[1] is False
+
+    def test_counts(self, sim, slow_db) -> None:
+        slow_db.execute_update(read_keys=["a"], writes={"a": 1})
+        slow_db.execute_update(read_keys=["ghost"], writes={"ghost": 1})
+        sim.run()
+        assert slow_db.coordinator.committed_count == 1
+        assert slow_db.coordinator.aborted_count == 1
+
+
+class TestVoteNo:
+    def test_crashed_participant_aborts_transaction(self, sim, slow_db) -> None:
+        process = slow_db.execute_update(read_keys=["a"], writes={"a": 1})
+        slow_db.participants[0].crash()
+        sim.run()
+        assert process.triggered and not process.ok
+        assert isinstance(process.value, TransactionAborted)

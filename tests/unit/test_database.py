@@ -1,0 +1,224 @@
+"""Unit tests for the database facade: transactions, versions, dependency
+lists, invalidation fan-out."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deplist import UNBOUNDED
+from repro.db.database import Database, DatabaseConfig, TimingConfig
+from repro.errors import ConfigurationError, KeyNotFound
+from repro.sim.channel import Channel
+from repro.sim.core import Simulator
+from tests.conftest import commit_update
+
+
+class TestExecuteUpdate:
+    def test_commit_installs_values_and_versions(self, sim, database) -> None:
+        database.load({"a": 0, "b": 0})
+        committed = commit_update(sim, database, ["a", "b"], value="x")
+        assert committed.txn_id == 1
+        assert committed.writes == {"a": 1, "b": 1}
+        assert committed.reads == {"a": 0, "b": 0}
+        assert database.read_entry("a").value == "x"
+        assert database.read_entry("a").version == 1
+
+    def test_versions_increase_per_commit(self, sim, database) -> None:
+        database.load({"a": 0})
+        first = commit_update(sim, database, ["a"])
+        second = commit_update(sim, database, ["a"])
+        assert (first.txn_id, second.txn_id) == (1, 2)
+        assert second.reads == {"a": 1}
+        assert database.latest_version == 2
+
+    def test_transaction_version_exceeds_accessed_versions(self, sim, database) -> None:
+        """§III-A: a transaction's version is larger than the versions of
+        all objects it accessed."""
+        database.load({"a": 0, "b": 0})
+        for _ in range(5):
+            committed = commit_update(sim, database, ["a", "b"])
+            assert all(committed.txn_id > v for v in committed.reads.values())
+
+    def test_read_set_may_exceed_write_set(self, sim, database) -> None:
+        database.load({"a": 0, "b": 0})
+        committed = commit_update(sim, database, ["a", "b"], write_keys=["a"])
+        assert set(committed.writes) == {"a"}
+        assert set(committed.reads) == {"a", "b"}
+        assert database.read_entry("b").version == 0
+
+    def test_compute_function_receives_read_entries(self, sim, database) -> None:
+        database.load({"counter": 10})
+        process = database.execute_update(
+            read_keys=["counter"],
+            write_keys=["counter"],
+            compute=lambda reads: {"counter": reads["counter"].value + 1},
+        )
+        sim.run()
+        assert process.ok
+        assert database.read_entry("counter").value == 11
+
+    def test_writes_and_compute_are_mutually_exclusive(self, sim, database) -> None:
+        with pytest.raises(ConfigurationError):
+            database.execute_update(["a"], writes={"a": 1}, compute=lambda r: {})
+        with pytest.raises(ConfigurationError):
+            database.execute_update(["a"])
+        with pytest.raises(ConfigurationError):
+            database.execute_update(["a"], compute=lambda r: {})
+
+    def test_write_outside_declared_set_aborts(self, sim, database) -> None:
+        database.load({"a": 0, "b": 0})
+        process = database.execute_update(
+            read_keys=["a"], write_keys=["a"], compute=lambda reads: {"b": 1}
+        )
+        sim.run()
+        assert process.triggered and not process.ok
+        assert database.stats.aborted == 1
+
+    def test_unknown_key_aborts_transaction(self, sim, database) -> None:
+        process = database.execute_update(read_keys=["ghost"], writes={"ghost": 1})
+        sim.run()
+        assert process.triggered and not process.ok
+
+    def test_stats_count_commits(self, sim, database) -> None:
+        database.load({"a": 0})
+        commit_update(sim, database, ["a"])
+        commit_update(sim, database, ["a"])
+        assert database.stats.committed == 2
+        assert database.stats.total_transactions == 2
+
+
+class TestDependencyLists:
+    def test_written_objects_share_full_list_minus_self(self, sim, database) -> None:
+        database.load({"a": 0, "b": 0, "c": 0})
+        commit_update(sim, database, ["a", "b"])
+        a = database.read_entry("a")
+        b = database.read_entry("b")
+        assert a.dep_on("b") == 1
+        assert a.dep_on("a") is None
+        assert b.dep_on("a") == 1
+        assert b.dep_on("b") is None
+
+    def test_inheritance_chains_versions(self, sim, database) -> None:
+        database.load({"a": 0, "b": 0, "c": 0})
+        commit_update(sim, database, ["a", "b"])      # version 1
+        commit_update(sim, database, ["b", "c"])      # version 2
+        c = database.read_entry("c")
+        assert c.dep_on("b") == 2
+        # c inherits b's dependency on a at version 1.
+        assert c.dep_on("a") == 1
+
+    def test_pure_reads_enter_dependencies_at_read_version(self, sim, database) -> None:
+        database.load({"a": 0, "b": 0})
+        commit_update(sim, database, ["a"])  # a -> version 1
+        commit_update(sim, database, ["a", "b"], write_keys=["b"])
+        b = database.read_entry("b")
+        assert b.dep_on("a") == 1
+
+    def test_deplist_respects_bound(self, sim) -> None:
+        database = Database(sim, DatabaseConfig(deplist_max=2, timing=TimingConfig(0, 0, 0, 0)))
+        database.load({k: 0 for k in "abcdef"})
+        commit_update(sim, database, list("abcdef"))
+        for key in "abcdef":
+            assert len(database.read_entry(key).deps) <= 2
+
+    def test_deplist_zero_disables_tracking(self, sim) -> None:
+        database = Database(sim, DatabaseConfig(deplist_max=0, timing=TimingConfig(0, 0, 0, 0)))
+        database.load({"a": 0, "b": 0})
+        commit_update(sim, database, ["a", "b"])
+        assert database.read_entry("a").deps == ()
+
+    def test_deplist_unbounded_keeps_everything(self, sim) -> None:
+        database = Database(
+            sim, DatabaseConfig(deplist_max=UNBOUNDED, timing=TimingConfig(0, 0, 0, 0))
+        )
+        keys = [f"k{i}" for i in range(12)]
+        database.load({k: 0 for k in keys})
+        commit_update(sim, database, keys)
+        assert len(database.read_entry("k0").deps) == len(keys) - 1
+
+
+class TestInvalidations:
+    def test_invalidation_sent_per_written_object(self, sim, database) -> None:
+        database.load({"a": 0, "b": 0})
+        received = []
+        channel = Channel(sim, received.append, latency=0.0)
+        database.register_invalidation_channel(channel)
+        commit_update(sim, database, ["a", "b"])
+        sim.run()
+        assert sorted(r.key for r in received) == ["a", "b"]
+        assert all(r.version == 1 for r in received)
+        assert database.stats.invalidations_sent == 2
+
+    def test_fan_out_to_multiple_channels(self, sim, database) -> None:
+        database.load({"a": 0})
+        first, second = [], []
+        database.register_invalidation_channel(Channel(sim, first.append))
+        database.register_invalidation_channel(Channel(sim, second.append))
+        commit_update(sim, database, ["a"])
+        sim.run()
+        assert len(first) == len(second) == 1
+
+    def test_commit_listener_sees_committed_transaction(self, sim, database) -> None:
+        database.load({"a": 0})
+        seen = []
+        database.add_commit_listener(seen.append)
+        committed = commit_update(sim, database, ["a"])
+        assert seen == [committed]
+
+
+class TestReads:
+    def test_read_entry_counts_stats(self, sim, database) -> None:
+        database.load({"a": 0})
+        database.read_entry("a")
+        database.read_entry("a")
+        assert database.stats.entry_reads == 2
+
+    def test_read_entry_missing_key(self, sim, database) -> None:
+        with pytest.raises(KeyNotFound):
+            database.read_entry("ghost")
+
+
+class TestSharding:
+    def test_single_shard_routes_everything(self, sim, fast_timing) -> None:
+        database = Database(sim, DatabaseConfig(shards=1, timing=fast_timing))
+        assert database.shard_for("x") is database.participants[0]
+
+    def test_multi_shard_routing_is_stable(self, sim, fast_timing) -> None:
+        database = Database(sim, DatabaseConfig(shards=4, timing=fast_timing))
+        keys = [f"k{i}" for i in range(50)]
+        first = [database.shard_for(k).name for k in keys]
+        second = [database.shard_for(k).name for k in keys]
+        assert first == second
+        assert len(set(first)) > 1
+
+    def test_invalid_config_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            DatabaseConfig(shards=0)
+        with pytest.raises(ConfigurationError):
+            DatabaseConfig(deplist_max=-5)
+
+
+class TestTimingRealism:
+    def test_transaction_takes_configured_time(self, sim) -> None:
+        timing = TimingConfig(
+            lock_delay=0.0, execute_delay=0.002, prepare_delay=0.001, commit_delay=0.001
+        )
+        database = Database(sim, DatabaseConfig(timing=timing))
+        database.load({"a": 0})
+        process = database.execute_update(read_keys=["a"], writes={"a": 1})
+        sim.run()
+        assert process.ok
+        committed = process.value
+        assert committed.commit_time == pytest.approx(0.004)
+
+    def test_concurrent_disjoint_transactions_overlap(self, sim) -> None:
+        timing = TimingConfig(0.0, 0.002, 0.001, 0.001)
+        database = Database(sim, DatabaseConfig(timing=timing))
+        database.load({"a": 0, "b": 0})
+        pa = database.execute_update(read_keys=["a"], writes={"a": 1})
+        pb = database.execute_update(read_keys=["b"], writes={"b": 1})
+        sim.run()
+        assert pa.ok and pb.ok
+        # Disjoint transactions proceed in parallel: same commit time.
+        assert pa.value.commit_time == pb.value.commit_time

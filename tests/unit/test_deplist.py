@@ -1,0 +1,147 @@
+"""Unit tests for bounded, LRU-pruned dependency lists (§III-A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deplist import UNBOUNDED, DependencyList
+from repro.errors import ConfigurationError
+from repro.types import DepEntry
+
+
+class TestConstruction:
+    def test_empty(self) -> None:
+        deps = DependencyList()
+        assert len(deps) == 0
+        assert deps.required_version("x") is None
+
+    def test_preserves_order(self) -> None:
+        deps = DependencyList.from_pairs([("a", 3), ("b", 1), ("c", 2)])
+        assert deps.as_pairs() == (("a", 3), ("b", 1), ("c", 2))
+
+    def test_duplicate_key_keeps_larger_version(self) -> None:
+        deps = DependencyList.from_pairs([("a", 3), ("b", 1), ("a", 7)])
+        assert deps.required_version("a") == 7
+        assert len(deps) == 2
+
+    def test_duplicate_key_keeps_earlier_position(self) -> None:
+        deps = DependencyList.from_pairs([("a", 3), ("b", 1), ("a", 7)])
+        # "a" stays in its original (more recent) slot with the newer version.
+        assert deps.as_pairs() == (("a", 7), ("b", 1))
+
+    def test_duplicate_with_smaller_version_ignored(self) -> None:
+        deps = DependencyList.from_pairs([("a", 7), ("a", 3)])
+        assert deps.as_pairs() == (("a", 7),)
+
+    def test_contains_and_keys(self) -> None:
+        deps = DependencyList.from_pairs([("a", 1), ("b", 2)])
+        assert "a" in deps and "b" in deps and "c" not in deps
+        assert deps.keys() == {"a", "b"}
+
+    def test_equality_and_hash(self) -> None:
+        a = DependencyList.from_pairs([("a", 1)])
+        b = DependencyList.from_pairs([("a", 1)])
+        c = DependencyList.from_pairs([("a", 2)])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != "not-a-list"
+
+    def test_iteration_yields_entries(self) -> None:
+        deps = DependencyList.from_pairs([("a", 1), ("b", 2)])
+        assert list(deps) == [DepEntry("a", 1), DepEntry("b", 2)]
+
+
+class TestMerge:
+    def test_direct_entries_come_first(self) -> None:
+        inherited = [DependencyList.from_pairs([("old", 1)])]
+        merged = DependencyList.merge({"x": 10}, inherited, max_len=5)
+        assert merged.as_pairs()[0] == ("x", 10)
+        assert merged.required_version("old") == 1
+
+    def test_prunes_to_max_len(self) -> None:
+        direct = {"a": 1, "b": 2, "c": 3}
+        merged = DependencyList.merge(direct, [], max_len=2)
+        assert len(merged) == 2
+
+    def test_unbounded_never_prunes(self) -> None:
+        direct = {f"k{i}": i for i in range(100)}
+        merged = DependencyList.merge(direct, [], max_len=UNBOUNDED)
+        assert len(merged) == 100
+
+    def test_exclude_removes_self_entry(self) -> None:
+        merged = DependencyList.merge({"self": 5, "other": 2}, [], max_len=5, exclude="self")
+        assert "self" not in merged
+        assert merged.required_version("other") == 2
+
+    def test_subsumption_across_sources(self) -> None:
+        """§III-A: an entry is discarded if the same object appears with a
+        larger version elsewhere."""
+        inherited = [
+            DependencyList.from_pairs([("x", 3), ("y", 1)]),
+            DependencyList.from_pairs([("x", 9)]),
+        ]
+        merged = DependencyList.merge({}, inherited, max_len=5)
+        assert merged.required_version("x") == 9
+        assert len([e for e in merged if e.key == "x"]) == 1
+
+    def test_direct_version_beats_stale_inherited(self) -> None:
+        inherited = [DependencyList.from_pairs([("a", 2)])]
+        merged = DependencyList.merge({"a": 10}, inherited, max_len=5)
+        assert merged.required_version("a") == 10
+
+    def test_inherited_larger_version_survives_direct(self) -> None:
+        # A read of an old version can inherit a dependency on a *newer*
+        # version of the same key from another source list.
+        inherited = [DependencyList.from_pairs([("a", 99)])]
+        merged = DependencyList.merge({"a": 10}, inherited, max_len=5)
+        assert merged.required_version("a") == 99
+
+    def test_lru_prefers_direct_over_inherited(self) -> None:
+        direct = {"d1": 1, "d2": 2}
+        inherited = [DependencyList.from_pairs([("i1", 1), ("i2", 2), ("i3", 3)])]
+        merged = DependencyList.merge(direct, inherited, max_len=3)
+        kept = merged.keys()
+        assert {"d1", "d2"} <= kept
+        assert kept - {"d1", "d2"} == {"i1"}  # best-positioned inherited entry
+
+    def test_inherited_recency_uses_best_position(self) -> None:
+        first = DependencyList.from_pairs([("a", 1), ("b", 1)])
+        second = DependencyList.from_pairs([("b", 2), ("c", 1)])
+        merged = DependencyList.merge({}, [first, second], max_len=3)
+        # "a" and "b" both have best position 0; "c" has position 1.
+        assert [e.key for e in merged] == ["a", "b", "c"]
+
+    def test_deterministic_tie_break(self) -> None:
+        one = DependencyList.merge({"z": 1, "a": 1, "m": 1}, [], max_len=2)
+        two = DependencyList.merge({"m": 1, "z": 1, "a": 1}, [], max_len=2)
+        assert one.as_pairs() == two.as_pairs()
+
+    def test_invalid_max_len_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            DependencyList.merge({}, [], max_len=-2)
+
+    def test_max_len_zero_gives_empty_list(self) -> None:
+        merged = DependencyList.merge({"a": 1}, [], max_len=0)
+        assert len(merged) == 0
+
+    def test_paper_example_shape(self) -> None:
+        """§III-A example: txn t at version vt touches o1 and o2; o1's new
+        list carries (o2, vt) plus o2's inherited dependencies."""
+        o1_old = DependencyList.from_pairs([("d11", 1), ("d12", 2)])
+        o2_old = DependencyList.from_pairs([("d21", 3), ("d22", 4)])
+        vt = 100
+        merged = DependencyList.merge(
+            {"o1": vt, "o2": vt}, [o1_old, o2_old], max_len=UNBOUNDED, exclude="o1"
+        )
+        assert merged.required_version("o2") == vt
+        for key, version in [("d11", 1), ("d12", 2), ("d21", 3), ("d22", 4)]:
+            assert merged.required_version(key) == version
+        assert "o1" not in merged
+
+
+class TestDepEntry:
+    def test_subsumes_same_key_larger_version(self) -> None:
+        assert DepEntry("a", 5).subsumes(DepEntry("a", 3))
+        assert DepEntry("a", 5).subsumes(DepEntry("a", 5))
+        assert not DepEntry("a", 3).subsumes(DepEntry("a", 5))
+        assert not DepEntry("a", 5).subsumes(DepEntry("b", 1))

@@ -1,0 +1,148 @@
+"""Unit tests for the §III-B inconsistency checks (Equations 1 and 2)."""
+
+from __future__ import annotations
+
+from repro.core.deplist import DependencyList
+from repro.core.detector import (
+    check_equation1,
+    check_equation2,
+    check_read,
+    check_repeated_read,
+)
+from repro.core.records import TransactionContext
+
+EMPTY = DependencyList()
+
+
+def context_with(*reads: tuple[str, int, DependencyList]) -> TransactionContext:
+    context = TransactionContext(txn_id=1, start_time=0.0)
+    for key, version, deps in reads:
+        context.record_read(key, version, deps)
+    return context
+
+
+class TestEquation2:
+    """The current read is older than what previous reads expect."""
+
+    def test_violation_from_previous_deps(self) -> None:
+        context = context_with(("a", 10, DependencyList.from_pairs([("b", 7)])))
+        report = check_equation2(context, "b", 5)
+        assert report is not None
+        assert report.equation == 2
+        assert report.stale_key == "b"
+        assert report.found_version == 5
+        assert report.required_version == 7
+        assert report.demanding_key == "a"
+        assert report.stale_read_is_current
+
+    def test_exact_required_version_passes(self) -> None:
+        context = context_with(("a", 10, DependencyList.from_pairs([("b", 7)])))
+        assert check_equation2(context, "b", 7) is None
+
+    def test_newer_version_passes(self) -> None:
+        context = context_with(("a", 10, DependencyList.from_pairs([("b", 7)])))
+        assert check_equation2(context, "b", 9) is None
+
+    def test_no_requirement_passes(self) -> None:
+        context = context_with(("a", 10, EMPTY))
+        assert check_equation2(context, "b", 0) is None
+
+    def test_violation_from_direct_previous_read(self) -> None:
+        """Re-reading a key at an older version than before."""
+        context = context_with(("b", 7, EMPTY))
+        report = check_equation2(context, "b", 5)
+        assert report is not None
+        assert report.demanding_key == "b"
+
+    def test_strongest_requirement_wins(self) -> None:
+        context = context_with(
+            ("a", 10, DependencyList.from_pairs([("x", 3)])),
+            ("b", 11, DependencyList.from_pairs([("x", 8)])),
+        )
+        report = check_equation2(context, "x", 5)
+        assert report is not None
+        assert report.required_version == 8
+        assert report.demanding_key == "b"
+
+
+class TestEquation1:
+    """The current read's dependency list proves an earlier read stale."""
+
+    def test_violation(self) -> None:
+        context = context_with(("b", 5, EMPTY))
+        deps = DependencyList.from_pairs([("b", 7)])
+        report = check_equation1(context, "a", deps)
+        assert report is not None
+        assert report.equation == 1
+        assert report.stale_key == "b"
+        assert report.found_version == 5
+        assert report.required_version == 7
+        assert report.demanding_key == "a"
+        assert not report.stale_read_is_current
+
+    def test_satisfied_dependency_passes(self) -> None:
+        context = context_with(("b", 7, EMPTY))
+        assert check_equation1(context, "a", DependencyList.from_pairs([("b", 7)])) is None
+        assert check_equation1(context, "a", DependencyList.from_pairs([("b", 6)])) is None
+
+    def test_dependency_on_unread_key_passes(self) -> None:
+        context = context_with(("b", 5, EMPTY))
+        assert check_equation1(context, "a", DependencyList.from_pairs([("c", 9)])) is None
+
+    def test_empty_deps_pass(self) -> None:
+        context = context_with(("b", 5, EMPTY))
+        assert check_equation1(context, "a", EMPTY) is None
+
+
+class TestRepeatedRead:
+    def test_newer_version_of_previously_read_key(self) -> None:
+        context = context_with(("a", 5, EMPTY))
+        report = check_repeated_read(context, "a", 8)
+        assert report is not None
+        assert report.equation == 1
+        assert report.stale_key == "a"
+        assert report.found_version == 5
+        assert report.required_version == 8
+
+    def test_same_version_passes(self) -> None:
+        context = context_with(("a", 5, EMPTY))
+        assert check_repeated_read(context, "a", 5) is None
+
+    def test_unread_key_passes(self) -> None:
+        context = context_with(("a", 5, EMPTY))
+        assert check_repeated_read(context, "b", 9) is None
+
+
+class TestCheckRead:
+    def test_first_read_always_passes(self) -> None:
+        context = TransactionContext(txn_id=1, start_time=0.0)
+        deps = DependencyList.from_pairs([("b", 7), ("c", 3)])
+        assert check_read(context, "a", 10, deps) is None
+
+    def test_equation2_takes_priority(self) -> None:
+        """When both equations fire, Eq. 2 is reported first (RETRY can
+        repair it by re-reading the current object)."""
+        context = context_with(
+            ("b", 5, DependencyList.from_pairs([("a", 10)])),
+        )
+        # Reading a@8: Eq2 fires (b's deps demand a>=10); its own deps also
+        # prove b stale (Eq1), but Eq2 must win.
+        report = check_read(context, "a", 8, DependencyList.from_pairs([("b", 9)]))
+        assert report is not None
+        assert report.equation == 2
+
+    def test_consistent_sequence_passes(self) -> None:
+        context = TransactionContext(txn_id=1, start_time=0.0)
+        deps_a = DependencyList.from_pairs([("b", 7)])
+        assert check_read(context, "a", 10, deps_a) is None
+        context.record_read("a", 10, deps_a)
+        assert check_read(context, "b", 7, EMPTY) is None
+
+    def test_transitive_requirement_via_recorded_reads(self) -> None:
+        context = TransactionContext(txn_id=1, start_time=0.0)
+        context.record_read("a", 10, DependencyList.from_pairs([("b", 7)]))
+        context.record_read("c", 2, EMPTY)
+        report = check_read(context, "b", 6, EMPTY)
+        assert report is not None
+        assert report.equation == 2
+        assert report.demanding_key == "a"

@@ -1,0 +1,121 @@
+"""Unit tests for the §VII future-direction extensions.
+
+* Per-object dependency-list bounds — "objects of larger clusters call for
+  longer dependency lists".
+* Application-pinned dependencies — "the application could explicitly
+  inform the cache of relevant object dependencies, and those could then be
+  treated as more important and retained".
+* Alternative pruning policies — the ablation axis for the paper's LRU
+  choice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deplist import PRUNING_POLICIES, UNBOUNDED, DependencyList
+from repro.db.database import Database, DatabaseConfig, TimingConfig
+from repro.errors import ConfigurationError
+from repro.sim.core import Simulator
+from tests.conftest import commit_update
+
+
+class TestPruningPolicies:
+    DIRECT = {"d1": 10, "d2": 20}
+    INHERITED = [DependencyList.from_pairs([("i1", 99), ("i2", 1), ("i3", 50)])]
+
+    def test_policies_are_published(self) -> None:
+        assert set(PRUNING_POLICIES) == {"lru", "newest-version", "random"}
+
+    def test_lru_keeps_direct_entries(self) -> None:
+        merged = DependencyList.merge(self.DIRECT, self.INHERITED, max_len=2, policy="lru")
+        assert merged.keys() == {"d1", "d2"}
+
+    def test_newest_version_keeps_largest_versions(self) -> None:
+        merged = DependencyList.merge(
+            self.DIRECT, self.INHERITED, max_len=2, policy="newest-version"
+        )
+        assert merged.keys() == {"i1", "i3"}  # versions 99 and 50
+
+    def test_random_is_deterministic(self) -> None:
+        once = DependencyList.merge(self.DIRECT, self.INHERITED, max_len=3, policy="random")
+        twice = DependencyList.merge(self.DIRECT, self.INHERITED, max_len=3, policy="random")
+        assert once == twice
+
+    def test_unknown_policy_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            DependencyList.merge(self.DIRECT, [], max_len=2, policy="clairvoyant")
+
+    def test_subsumption_holds_for_every_policy(self) -> None:
+        inherited = [DependencyList.from_pairs([("d1", 99)])]
+        for policy in PRUNING_POLICIES:
+            merged = DependencyList.merge(
+                self.DIRECT, inherited, max_len=UNBOUNDED, policy=policy
+            )
+            assert merged.required_version("d1") == 99
+
+
+class TestPinnedDependencies:
+    def test_pinned_outranks_direct(self) -> None:
+        direct = {"d1": 1, "d2": 2, "d3": 3}
+        inherited = [DependencyList.from_pairs([("acl", 7)])]
+        merged = DependencyList.merge(
+            direct, inherited, max_len=2, pinned={"acl"}
+        )
+        assert "acl" in merged
+        assert len(merged) == 2
+
+    def test_pin_without_source_mention_is_noop(self) -> None:
+        merged = DependencyList.merge({"d1": 1}, [], max_len=2, pinned={"ghost"})
+        assert "ghost" not in merged
+
+
+class TestDatabaseIntegration:
+    @pytest.fixture
+    def db(self, sim: Simulator) -> Database:
+        database = Database(
+            sim, DatabaseConfig(deplist_max=2, timing=TimingConfig(0, 0, 0, 0))
+        )
+        database.load({k: 0 for k in ("acl", "p1", "p2", "p3", "hub")})
+        return database
+
+    def test_per_object_bound_override(self, sim, db) -> None:
+        db.set_deplist_bound("hub", 4)
+        commit_update(sim, db, ["hub", "p1", "p2", "p3", "acl"])
+        assert len(db.read_entry("hub").deps) == 4      # overridden
+        assert len(db.read_entry("p1").deps) == 2       # global bound
+
+    def test_bound_override_validation(self, sim, db) -> None:
+        with pytest.raises(ConfigurationError):
+            db.set_deplist_bound("hub", -3)
+
+    def test_unbounded_override(self, sim, db) -> None:
+        db.set_deplist_bound("hub", UNBOUNDED)
+        commit_update(sim, db, ["hub", "p1", "p2", "p3", "acl"])
+        assert len(db.read_entry("hub").deps) == 4  # all partners
+
+    def test_pinned_dependency_survives_churn(self, sim, db) -> None:
+        """The web-album case: photos pin their ACL; later updates that
+        would push the ACL out of a length-2 list keep it."""
+        db.pin_dependency("p1", "acl")
+        commit_update(sim, db, ["p1", "acl"])
+        # Churn: p1 co-updates with two other photos repeatedly.
+        for _ in range(3):
+            commit_update(sim, db, ["p1", "p2", "p3"])
+        entry = db.read_entry("p1")
+        assert entry.dep_on("acl") is not None  # pinned: survived pruning
+        unpinned = db.read_entry("p2")
+        assert unpinned.dep_on("acl") is None   # the control case
+
+    def test_pruning_policy_from_config(self, sim) -> None:
+        database = Database(
+            sim,
+            DatabaseConfig(
+                deplist_max=2,
+                timing=TimingConfig(0, 0, 0, 0),
+                pruning_policy="newest-version",
+            ),
+        )
+        database.load({k: 0 for k in "abc"})
+        commit_update(sim, database, ["a", "b", "c"])
+        assert len(database.read_entry("a").deps) == 2

@@ -1,0 +1,138 @@
+"""Unit tests for the consistency monitor and its statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.monitor.monitor import ConsistencyMonitor
+from repro.monitor.stats import ClassCounts, TimeSeries
+from repro.sim.core import Simulator
+from repro.types import (
+    CommittedTransaction,
+    ReadOnlyTransactionRecord,
+    TransactionOutcome,
+)
+
+
+def update(version: int, keys: list[str], read_versions: dict) -> CommittedTransaction:
+    return CommittedTransaction(
+        txn_id=version, reads=read_versions, writes={k: version for k in keys}
+    )
+
+
+def read_only(
+    txn_id: int,
+    reads: dict,
+    *,
+    outcome: TransactionOutcome = TransactionOutcome.COMMITTED,
+    time: float = 0.0,
+    non_repeatable: bool = False,
+) -> ReadOnlyTransactionRecord:
+    return ReadOnlyTransactionRecord(
+        txn_id=txn_id,
+        reads=reads,
+        outcome=outcome,
+        finish_time=time,
+        non_repeatable=non_repeatable,
+    )
+
+
+@pytest.fixture
+def monitor(sim: Simulator) -> ConsistencyMonitor:
+    monitor = ConsistencyMonitor(sim)
+    monitor.record_update(update(1, ["a", "b"], {"a": 0, "b": 0}))
+    return monitor
+
+
+class TestClassification:
+    def test_consistent_commit(self, monitor) -> None:
+        monitor.record_read_only(read_only(1, {"a": 1, "b": 1}))
+        assert monitor.summary.read_only.consistent == 1
+        assert monitor.inconsistency_ratio == 0.0
+
+    def test_inconsistent_commit(self, monitor) -> None:
+        monitor.record_read_only(read_only(1, {"a": 0, "b": 1}))
+        assert monitor.summary.read_only.inconsistent == 1
+        assert monitor.inconsistency_ratio == 1.0
+        assert len(monitor.inconsistency_witnesses) == 1
+
+    def test_necessary_abort(self, monitor) -> None:
+        monitor.record_read_only(
+            read_only(1, {"a": 0, "b": 1}, outcome=TransactionOutcome.ABORTED)
+        )
+        assert monitor.summary.read_only.aborted_necessary == 1
+        assert monitor.detection_ratio == 1.0
+
+    def test_unnecessary_abort(self, monitor) -> None:
+        monitor.record_read_only(
+            read_only(1, {"a": 1, "b": 1}, outcome=TransactionOutcome.ABORTED)
+        )
+        assert monitor.summary.read_only.aborted_unnecessary == 1
+        assert monitor.abort_ratio == 1.0
+
+    def test_non_repeatable_always_inconsistent(self, monitor) -> None:
+        monitor.record_read_only(read_only(1, {"a": 1}, non_repeatable=True))
+        assert monitor.summary.read_only.inconsistent == 1
+        assert monitor.summary.non_repeatable == 1
+
+    def test_detection_ratio_mixes_detected_and_missed(self, monitor) -> None:
+        monitor.record_read_only(read_only(1, {"a": 0, "b": 1}))  # missed
+        monitor.record_read_only(
+            read_only(2, {"a": 0, "b": 1}, outcome=TransactionOutcome.ABORTED)
+        )  # detected
+        monitor.record_read_only(read_only(3, {"a": 1, "b": 1}))  # consistent
+        assert monitor.detection_ratio == pytest.approx(0.5)
+        assert monitor.inconsistency_ratio == pytest.approx(0.5)
+
+    def test_update_commits_counted(self, monitor) -> None:
+        assert monitor.summary.update_commits == 1
+
+
+class TestSeries:
+    def test_records_land_in_time_windows(self, sim) -> None:
+        monitor = ConsistencyMonitor(sim, window=1.0)
+        monitor.record_update(update(1, ["a", "b"], {"a": 0, "b": 0}))
+        monitor.record_read_only(read_only(1, {"a": 1}, time=0.5))
+        monitor.record_read_only(read_only(2, {"a": 1}, time=1.5))
+        monitor.record_read_only(read_only(3, {"a": 0, "b": 1}, time=1.7))
+        buckets = monitor.series.buckets()
+        assert [start for start, _ in buckets] == [0.0, 1.0]
+        assert buckets[1][1].committed == 2
+        assert buckets[1][1].inconsistent == 1
+
+
+class TestClassCounts:
+    def test_derived_ratios(self) -> None:
+        counts = ClassCounts(
+            consistent=60, inconsistent=20, aborted_necessary=15, aborted_unnecessary=5
+        )
+        assert counts.committed == 80
+        assert counts.aborted == 20
+        assert counts.total == 100
+        assert counts.inconsistency_ratio == pytest.approx(0.25)
+        assert counts.abort_ratio == pytest.approx(0.20)
+        assert counts.detection_ratio == pytest.approx(15 / 35)
+
+    def test_empty_ratios_are_zero(self) -> None:
+        counts = ClassCounts()
+        assert counts.inconsistency_ratio == 0.0
+        assert counts.abort_ratio == 0.0
+        assert counts.detection_ratio == 0.0
+
+    def test_as_dict(self) -> None:
+        counts = ClassCounts(consistent=1)
+        assert counts.as_dict()["consistent"] == 1
+
+
+class TestTimeSeries:
+    def test_rates_normalise_by_window(self) -> None:
+        series = TimeSeries(window=2.0)
+        for time in (0.1, 0.5, 1.9):
+            series.record(time, "consistent")
+        rows = series.rates()
+        assert len(rows) == 1
+        assert rows[0]["consistent"] == pytest.approx(1.5)  # 3 txns / 2 s
+
+    def test_bucket_lookup_missing_is_empty(self) -> None:
+        series = TimeSeries()
+        assert series.bucket(42).total == 0

@@ -1,0 +1,115 @@
+"""Unit tests for the multiversion T-Cache extension (§VI)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.multiversion import MultiversionTCache
+from repro.db.invalidation import InvalidationRecord
+from repro.errors import ConfigurationError, InconsistencyDetected
+from repro.sim.core import Simulator
+from tests.helpers import FakeBackend
+
+
+@pytest.fixture
+def backend() -> FakeBackend:
+    return FakeBackend({"a": "a0", "b": "b0", "c": "c0"})
+
+
+def invalidate(cache, key, version):
+    cache.handle_invalidation(
+        InvalidationRecord(key=key, version=version, txn_id=version, commit_time=0.0)
+    )
+
+
+class TestConstruction:
+    def test_history_depth_validated(self, sim, backend) -> None:
+        with pytest.raises(ConfigurationError):
+            MultiversionTCache(sim, backend, history_depth=0)
+
+    def test_history_accumulates_versions(self, sim, backend) -> None:
+        cache = MultiversionTCache(sim, backend, history_depth=3)
+        cache.read(1, "a", last_op=True)               # a@0
+        committed = backend.commit(["a"])              # a -> 1
+        invalidate(cache, "a", committed.txn_id)
+        cache.read(2, "a", last_op=True)               # a@1
+        versions = [e.version for e in cache.candidate_versions("a")]
+        assert versions == [1, 0]
+
+    def test_history_depth_bounds_retention(self, sim, backend) -> None:
+        cache = MultiversionTCache(sim, backend, history_depth=2)
+        cache.read(1, "a", last_op=True)
+        for _ in range(4):
+            committed = backend.commit(["a"])
+            invalidate(cache, "a", committed.txn_id)
+            cache.read(2, "a", last_op=True)
+        assert len(cache.candidate_versions("a")) == 2
+
+
+class TestVersionSelection:
+    def make_torn_state(self, sim, backend):
+        """Cache: stale b@0 (lost invalidation) plus history for a at 0, 1.
+
+        One update writes {a, b}; the cache re-reads a (fresh) but keeps the
+        old b. A transaction reading b@0 first and then a would abort under
+        plain RETRY (Equation 1: fresh a's deps prove b stale) — but a@0 is
+        in the history and is consistent with b@0.
+        """
+        cache = MultiversionTCache(sim, backend, history_depth=3)
+        cache.read(900, "a", last_op=True)             # a@0 enters history
+        cache.read(901, "b", last_op=True)             # b@0 cached
+        committed = backend.commit(["a", "b"])         # a,b -> 1
+        invalidate(cache, "a", committed.txn_id)       # b's invalidation lost
+        cache.read(902, "a", last_op=True)             # a@1 cached + history
+        return cache
+
+    def test_old_version_saves_the_transaction(self, sim, backend) -> None:
+        cache = self.make_torn_state(sim, backend)
+        before = cache.stats.transactions_aborted
+        result_b = cache.read(1, "b")
+        assert result_b.version == 0                   # stale read delivered
+        result_a = cache.read(1, "a", last_op=True)
+        assert result_a.version == 0                   # older version served
+        assert cache.multiversion_serves == 1
+        assert cache.stats.transactions_aborted == before
+        assert cache.stats.transactions_committed >= 1
+
+    def test_snapshot_is_consistent(self, sim, backend) -> None:
+        """The served combination (b@0, a@0) is serializable — before the
+        update transaction."""
+        from repro.monitor.sgt import SerializationGraphTester
+
+        tester = SerializationGraphTester()
+        cache = MultiversionTCache(sim, backend, history_depth=3)
+        cache.read(900, "a", last_op=True)
+        cache.read(901, "b", last_op=True)
+        tester.record_update(backend.commit(["a", "b"]))
+        invalidate(cache, "a", 1)
+        cache.read(902, "a", last_op=True)
+        result_b = cache.read(1, "b")
+        result_a = cache.read(1, "a", last_op=True)
+        assert result_b.version == 0
+        assert tester.is_consistent({"b": 0, "a": result_a.version})
+
+    def test_fresh_first_then_stale_still_retries(self, sim, backend) -> None:
+        """Reading the fresh object first leaves Equation 2 on the stale
+        one; that path re-reads from the database like RETRY."""
+        cache = self.make_torn_state(sim, backend)
+        cache.read(1, "a")              # fresh a@1 first
+        result = cache.read(1, "b", last_op=True)
+        assert result.version == 1      # read-through repaired b
+        assert result.retried is True
+
+    def test_no_candidate_falls_back_to_abort(self, sim, backend) -> None:
+        """Without a usable old version the Equation 1 path aborts."""
+        cache = MultiversionTCache(sim, backend, history_depth=3)
+        committed = backend.commit(["a", "b"])          # a,b -> 1 (not cached)
+        cache.read(900, "b", last_op=True)              # caches b@1... fresh
+        second = backend.commit(["a", "b"])             # a,b -> 2
+        invalidate(cache, "a", second.txn_id)
+        # b stays at 1 (lost invalidation); a will come in fresh at 2.
+        cache.read(1, "b")                              # b@1 delivered
+        with pytest.raises(InconsistencyDetected):
+            # a@2's deps demand b>=2; history has no a older than 2 that is
+            # consistent with b@1 (a@... nothing cached before).
+            cache.read(1, "a", last_op=True)

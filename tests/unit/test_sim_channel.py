@@ -1,0 +1,182 @@
+"""Unit tests for lossy/delaying channels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.channel import Channel
+from repro.sim.core import Simulator
+
+
+def make_channel(sim, received, **kwargs):
+    return Channel(sim, received.append, **kwargs)
+
+
+class TestDelivery:
+    def test_message_delivered_after_fixed_latency(self, sim: Simulator) -> None:
+        received = []
+        channel = make_channel(sim, received, latency=0.5)
+        channel.send("hello")
+        sim.run(until=0.4)
+        assert received == []
+        sim.run()
+        assert received == ["hello"]
+        assert sim.now == 0.5
+
+    def test_delivery_is_never_synchronous(self, sim: Simulator) -> None:
+        received = []
+        channel = make_channel(sim, received, latency=0.0)
+        channel.send("m")
+        assert received == []  # not yet: async even at zero latency
+        sim.run()
+        assert received == ["m"]
+
+    def test_order_preserved_with_constant_latency(self, sim: Simulator) -> None:
+        received = []
+        channel = make_channel(sim, received, latency=0.1)
+        for i in range(5):
+            channel.send(i)
+        sim.run()
+        assert received == [0, 1, 2, 3, 4]
+        assert channel.stats.reordered == 0
+
+    def test_random_latency_can_reorder(self, sim: Simulator) -> None:
+        rng = np.random.default_rng(7)
+        received = []
+        channel = make_channel(
+            sim, received, latency=lambda r: float(r.exponential(1.0)), rng=rng
+        )
+        for i in range(200):
+            channel.send(i)
+        sim.run()
+        assert sorted(received) == list(range(200))
+        assert channel.stats.reordered > 0
+
+    def test_stats_track_latency(self, sim: Simulator) -> None:
+        received = []
+        channel = make_channel(sim, received, latency=0.25)
+        channel.send("a")
+        channel.send("b")
+        sim.run()
+        assert channel.stats.delivered == 2
+        assert channel.stats.mean_latency == pytest.approx(0.25)
+
+
+class TestLoss:
+    def test_loss_probability_zero_delivers_everything(self, sim: Simulator) -> None:
+        received = []
+        channel = make_channel(sim, received, latency=0.0, loss_probability=0.0,
+                               rng=np.random.default_rng(1))
+        for i in range(100):
+            channel.send(i)
+        sim.run()
+        assert len(received) == 100
+        assert channel.stats.dropped == 0
+
+    def test_loss_probability_one_drops_everything(self, sim: Simulator) -> None:
+        received = []
+        channel = make_channel(sim, received, loss_probability=1.0,
+                               rng=np.random.default_rng(1))
+        for i in range(50):
+            assert channel.send(i) is False
+        sim.run()
+        assert received == []
+        assert channel.stats.dropped == 50
+
+    def test_twenty_percent_loss_is_roughly_twenty_percent(self, sim: Simulator) -> None:
+        received = []
+        channel = make_channel(sim, received, loss_probability=0.2,
+                               rng=np.random.default_rng(42))
+        n = 5000
+        for i in range(n):
+            channel.send(i)
+        sim.run()
+        assert channel.stats.loss_ratio == pytest.approx(0.2, abs=0.02)
+        assert len(received) + channel.stats.dropped == n
+
+    def test_send_reports_drop(self, sim: Simulator) -> None:
+        channel = make_channel(sim, [], loss_probability=1.0,
+                               rng=np.random.default_rng(1))
+        assert channel.send("x") is False
+
+
+class TestValidation:
+    def test_invalid_loss_probability_rejected(self, sim: Simulator) -> None:
+        with pytest.raises(ConfigurationError):
+            make_channel(sim, [], loss_probability=1.5, rng=np.random.default_rng(1))
+
+    def test_randomness_without_rng_rejected(self, sim: Simulator) -> None:
+        with pytest.raises(ConfigurationError):
+            make_channel(sim, [], loss_probability=0.5)
+        with pytest.raises(ConfigurationError):
+            make_channel(sim, [], latency=lambda r: 1.0)
+
+    def test_negative_sampled_latency_rejected(self, sim: Simulator) -> None:
+        channel = make_channel(sim, [], latency=lambda r: -1.0,
+                               rng=np.random.default_rng(1))
+        with pytest.raises(ConfigurationError):
+            channel.send("x")
+
+
+class TestBurstyLoss:
+    def test_outage_window_drops_everything(self, sim: Simulator) -> None:
+        received = []
+        channel = make_channel(sim, received, latency=0.0)
+        channel.outage(1.0, 2.0)
+
+        sent_results = []
+
+        def sender():
+            for _ in range(30):
+                sent_results.append(channel.send(sim.now))
+                yield sim.timeout(0.1)
+
+        sim.process(sender())
+        sim.run()
+        # Messages timestamped within [1.0, 2.0) were dropped.
+        assert all(m < 1.01 or m >= 1.99 for m in received if not 1.01 <= m <= 1.99)
+        assert channel.stats.dropped == sum(1 for ok in sent_results if not ok)
+        # ~10 of the 30 sends land in the window (float boundary slack).
+        assert 9 <= channel.stats.dropped <= 11
+        assert not any(1.05 <= m <= 1.95 for m in received)
+
+    def test_outage_composes_with_base_loss(self, sim: Simulator) -> None:
+        received = []
+        channel = make_channel(sim, received, loss_probability=0.5,
+                               rng=np.random.default_rng(3))
+        channel.outage(0.0, 10.0)
+        for i in range(20):
+            assert channel.send(i) is False
+        sim.run()
+        assert received == []
+
+    def test_empty_outage_rejected(self, sim: Simulator) -> None:
+        channel = make_channel(sim, [])
+        with pytest.raises(ConfigurationError):
+            channel.outage(2.0, 2.0)
+
+    def test_callable_loss_probability(self, sim: Simulator) -> None:
+        received = []
+        # Total loss during [1, 2), clean otherwise.
+        channel = make_channel(
+            sim, received,
+            loss_probability=lambda now: 1.0 if 1.0 <= now < 2.0 else 0.0,
+            rng=np.random.default_rng(4),
+        )
+
+        def sender():
+            for _ in range(30):
+                channel.send(sim.now)
+                yield sim.timeout(0.1)
+
+        sim.process(sender())
+        sim.run()
+        assert all(m < 1.0 or m >= 2.0 for m in received)
+
+    def test_invalid_callable_result_rejected(self, sim: Simulator) -> None:
+        channel = make_channel(sim, [], loss_probability=lambda now: 1.5,
+                               rng=np.random.default_rng(5))
+        with pytest.raises(ConfigurationError):
+            channel.send("x")

@@ -1,0 +1,192 @@
+"""Unit tests for the discrete-event simulation kernel (event loop)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.core import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim: Simulator) -> None:
+        assert sim.now == 0.0
+
+    def test_callback_runs_at_scheduled_time(self, sim: Simulator) -> None:
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+
+    def test_callbacks_run_in_time_order(self, sim: Simulator) -> None:
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self, sim: Simulator) -> None:
+        order = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(1.0, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_negative_delay_rejected(self, sim: Simulator) -> None:
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_nested_scheduling(self, sim: Simulator) -> None:
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [2.0]
+
+    def test_run_until_stops_before_later_events(self, sim: Simulator) -> None:
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(10.0, lambda: seen.append(10))
+        sim.run(until=5.0)
+        assert seen == [1]
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+
+    def test_run_until_advances_clock_when_queue_drains(self, sim: Simulator) -> None:
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_resume_after_partial_run(self, sim: Simulator) -> None:
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(10.0, lambda: seen.append(10))
+        sim.run(until=5.0)
+        sim.run()
+        assert seen == [1, 10]
+
+    def test_step_executes_one_event(self, sim: Simulator) -> None:
+        seen = []
+        sim.schedule(1.0, lambda: seen.append("a"))
+        sim.schedule(2.0, lambda: seen.append("b"))
+        assert sim.step() is True
+        assert seen == ["a"]
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_reentrant_run_rejected(self, sim: Simulator) -> None:
+        failures = []
+
+        def reenter() -> None:
+            try:
+                sim.run()
+            except SimulationError as error:
+                failures.append(error)
+
+        sim.schedule(0.0, reenter)
+        sim.run()
+        assert len(failures) == 1
+
+
+class TestEvent:
+    def test_succeed_delivers_value_to_callbacks(self, sim: Simulator) -> None:
+        event = sim.event()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        event.succeed(42)
+        sim.run()
+        assert seen == [42]
+
+    def test_callback_added_after_trigger_still_runs(self, sim: Simulator) -> None:
+        event = sim.event()
+        event.succeed("late")
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == ["late"]
+
+    def test_double_trigger_rejected(self, sim: Simulator) -> None:
+        event = sim.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_fail_requires_exception(self, sim: Simulator) -> None:
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            event.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_fail_marks_not_ok(self, sim: Simulator) -> None:
+        event = sim.event()
+        error = ValueError("boom")
+        event.fail(error)
+        assert event.triggered and not event.ok
+        assert event.value is error
+
+    def test_value_before_trigger_rejected(self, sim: Simulator) -> None:
+        event = sim.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+
+
+class TestTimeout:
+    def test_timeout_fires_after_delay(self, sim: Simulator) -> None:
+        timeout = sim.timeout(3.0, value="done")
+        sim.run()
+        assert timeout.triggered and timeout.ok
+        assert timeout.value == "done"
+        assert sim.now == 3.0
+
+    def test_negative_delay_rejected(self, sim: Simulator) -> None:
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_zero_delay_fires_at_current_time(self, sim: Simulator) -> None:
+        timeout = sim.timeout(0.0)
+        sim.run()
+        assert timeout.triggered
+        assert sim.now == 0.0
+
+
+class TestComposites:
+    def test_any_of_fires_on_first(self, sim: Simulator) -> None:
+        slow = sim.timeout(10.0, value="slow")
+        fast = sim.timeout(1.0, value="fast")
+        first = sim.any_of([slow, fast])
+        sim.run(until=2.0)
+        assert first.triggered
+        assert first.value is fast
+
+    def test_any_of_requires_events(self, sim: Simulator) -> None:
+        with pytest.raises(SimulationError):
+            sim.any_of([])
+
+    def test_all_of_waits_for_every_event(self, sim: Simulator) -> None:
+        timeouts = [sim.timeout(t, value=t) for t in (1.0, 3.0, 2.0)]
+        joined = sim.all_of(timeouts)
+        sim.run(until=2.5)
+        assert not joined.triggered
+        sim.run()
+        assert joined.triggered
+        assert joined.value == [1.0, 3.0, 2.0]
+
+    def test_all_of_empty_succeeds_immediately(self, sim: Simulator) -> None:
+        joined = sim.all_of([])
+        assert joined.triggered
+        assert joined.value == []
+
+    def test_all_of_fails_on_child_failure(self, sim: Simulator) -> None:
+        good = sim.timeout(1.0)
+        bad = sim.event()
+        joined = sim.all_of([good, bad])
+        bad.fail(RuntimeError("child failed"))
+        sim.run()
+        assert joined.triggered and not joined.ok
+        assert isinstance(joined.value, RuntimeError)
+
+    def test_any_of_failure_propagates(self, sim: Simulator) -> None:
+        pending = sim.event()
+        failing = sim.event()
+        composite = sim.any_of([pending, failing])
+        failing.fail(ValueError("first failure"))
+        sim.run()
+        assert composite.triggered and not composite.ok

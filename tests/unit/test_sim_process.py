@@ -1,0 +1,164 @@
+"""Unit tests for generator-based simulation processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProcessKilled, SimulationError
+from repro.sim.core import Simulator
+
+
+class TestBasicExecution:
+    def test_process_advances_through_timeouts(self, sim: Simulator) -> None:
+        trace = []
+
+        def body():
+            trace.append(("start", sim.now))
+            yield sim.timeout(1.0)
+            trace.append(("mid", sim.now))
+            yield sim.timeout(2.0)
+            trace.append(("end", sim.now))
+
+        sim.process(body())
+        sim.run()
+        assert trace == [("start", 0.0), ("mid", 1.0), ("end", 3.0)]
+
+    def test_return_value_becomes_event_value(self, sim: Simulator) -> None:
+        def body():
+            yield sim.timeout(1.0)
+            return "result"
+
+        process = sim.process(body())
+        sim.run()
+        assert process.triggered and process.ok
+        assert process.value == "result"
+
+    def test_yield_value_is_event_value(self, sim: Simulator) -> None:
+        received = []
+
+        def body():
+            value = yield sim.timeout(1.0, value="payload")
+            received.append(value)
+
+        sim.process(body())
+        sim.run()
+        assert received == ["payload"]
+
+    def test_processes_start_in_creation_order(self, sim: Simulator) -> None:
+        order = []
+
+        def body(tag):
+            order.append(tag)
+            yield sim.timeout(0.0)
+
+        sim.process(body("a"))
+        sim.process(body("b"))
+        sim.run()
+        assert order == ["a", "b"]
+
+    def test_non_generator_rejected(self, sim: Simulator) -> None:
+        with pytest.raises(SimulationError):
+            sim.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_yielding_non_event_fails_process(self, sim: Simulator) -> None:
+        def body():
+            yield 42  # type: ignore[misc]
+
+        process = sim.process(body())
+        sim.run()
+        assert process.triggered and not process.ok
+        assert isinstance(process.value, SimulationError)
+
+
+class TestErrorPropagation:
+    def test_exception_fails_the_process_event(self, sim: Simulator) -> None:
+        def body():
+            yield sim.timeout(1.0)
+            raise RuntimeError("inner failure")
+
+        process = sim.process(body())
+        sim.run()
+        assert process.triggered and not process.ok
+        assert isinstance(process.value, RuntimeError)
+
+    def test_failed_event_raises_inside_generator(self, sim: Simulator) -> None:
+        caught = []
+        failing = None
+
+        def body():
+            try:
+                yield failing
+            except ValueError as error:
+                caught.append(error)
+
+        failing = sim.event()
+        sim.process(body())
+        failing.fail(ValueError("delivered"))
+        sim.run()
+        assert len(caught) == 1
+
+    def test_uncaught_failure_from_event_fails_process(self, sim: Simulator) -> None:
+        failing = sim.event()
+
+        def body():
+            yield failing
+
+        process = sim.process(body())
+        failing.fail(KeyError("kaboom"))
+        sim.run()
+        assert process.triggered and not process.ok
+        assert isinstance(process.value, KeyError)
+
+
+class TestJoinAndKill:
+    def test_waiting_on_another_process(self, sim: Simulator) -> None:
+        def child():
+            yield sim.timeout(2.0)
+            return "child-result"
+
+        results = []
+
+        def parent():
+            value = yield sim.process(child())
+            results.append((value, sim.now))
+
+        sim.process(parent())
+        sim.run()
+        assert results == [("child-result", 2.0)]
+
+    def test_kill_interrupts_waiting_process(self, sim: Simulator) -> None:
+        cleanup = []
+
+        def body():
+            try:
+                yield sim.timeout(100.0)
+            except ProcessKilled:
+                cleanup.append(sim.now)
+                raise
+
+        process = sim.process(body())
+        sim.run(until=1.0)
+        process.kill()
+        sim.run(until=2.0)
+        assert cleanup == [1.0]
+        assert not process.alive
+        assert process.triggered
+
+    def test_kill_after_completion_is_noop(self, sim: Simulator) -> None:
+        def body():
+            yield sim.timeout(1.0)
+            return "done"
+
+        process = sim.process(body())
+        sim.run()
+        process.kill()
+        assert process.value == "done"
+
+    def test_alive_tracks_lifecycle(self, sim: Simulator) -> None:
+        def body():
+            yield sim.timeout(5.0)
+
+        process = sim.process(body())
+        assert process.alive
+        sim.run()
+        assert not process.alive

@@ -1,0 +1,79 @@
+"""Unit tests for the versioned object store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deplist import DependencyList
+from repro.db.store import VersionedStore
+from repro.errors import KeyNotFound
+from repro.types import INITIAL_VERSION
+
+
+class TestLoad:
+    def test_loaded_entries_have_initial_version(self) -> None:
+        store = VersionedStore()
+        store.load({"a": 1, "b": 2})
+        assert store.get("a").version == INITIAL_VERSION
+        assert store.get("a").deps == ()
+        assert store.get("b").value == 2
+        assert len(store) == 2
+
+    def test_missing_key_raises(self) -> None:
+        store = VersionedStore()
+        with pytest.raises(KeyNotFound):
+            store.get("ghost")
+
+    def test_contains(self) -> None:
+        store = VersionedStore()
+        store.load({"a": 1})
+        assert store.contains("a")
+        assert not store.contains("b")
+
+
+class TestInstall:
+    def test_install_replaces_value_version_and_deps(self) -> None:
+        store = VersionedStore()
+        store.load({"a": "old"})
+        deps = DependencyList.from_pairs([("b", 3)])
+        entry = store.install("a", "new", version=7, deps=deps)
+        assert entry.value == "new"
+        assert store.get("a").version == 7
+        assert store.get("a").deps == deps.entries
+        assert store.version_of("a") == 7
+
+    def test_version_regression_rejected(self) -> None:
+        store = VersionedStore()
+        store.load({"a": 0})
+        store.install("a", 1, version=5, deps=DependencyList())
+        with pytest.raises(AssertionError):
+            store.install("a", 2, version=5, deps=DependencyList())
+        with pytest.raises(AssertionError):
+            store.install("a", 2, version=3, deps=DependencyList())
+
+    def test_install_counts(self) -> None:
+        store = VersionedStore()
+        store.load({"a": 0, "b": 0})
+        store.install("a", 1, version=1, deps=DependencyList())
+        store.install("b", 1, version=2, deps=DependencyList())
+        assert store.install_count == 2
+
+    def test_install_new_key(self) -> None:
+        store = VersionedStore()
+        store.install("fresh", 9, version=1, deps=DependencyList())
+        assert store.get("fresh").value == 9
+
+
+class TestSnapshot:
+    def test_snapshot_is_detached(self) -> None:
+        store = VersionedStore()
+        store.load({"a": 1})
+        snap = store.snapshot()
+        store.install("a", 2, version=1, deps=DependencyList())
+        assert snap["a"].value == 1
+        assert store.get("a").value == 2
+
+    def test_keys_iteration(self) -> None:
+        store = VersionedStore()
+        store.load({"a": 1, "b": 2})
+        assert set(store.keys()) == {"a", "b"}

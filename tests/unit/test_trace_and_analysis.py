@@ -1,0 +1,159 @@
+"""Unit tests for trace record/replay and the staleness analysis probe."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.monitor.analysis import StalenessProbe
+from repro.types import CommittedTransaction, ReadOnlyTransactionRecord
+from repro.workloads.synthetic import PerfectClusterWorkload
+from repro.workloads.trace import (
+    TraceRecorder,
+    TraceWorkload,
+    load_trace,
+    save_trace,
+)
+
+
+class TestTraceRecorder:
+    def test_passthrough_and_recording(self, rng) -> None:
+        inner = PerfectClusterWorkload(n_objects=50, cluster_size=5)
+        recorder = TraceRecorder(inner)
+        produced = [recorder.access_set(rng, now=float(i)) for i in range(20)]
+        assert [accesses for _, accesses in recorder.records] == produced
+        assert recorder.records[3][0] == 3.0
+        assert list(recorder.all_keys()) == list(inner.all_keys())
+
+    def test_frozen_trace_replays_exactly(self, rng) -> None:
+        inner = PerfectClusterWorkload(n_objects=50, cluster_size=5)
+        recorder = TraceRecorder(inner)
+        produced = [recorder.access_set(rng, float(i)) for i in range(10)]
+        trace = recorder.trace()
+        replayed = [trace.access_set(rng, 0.0) for _ in range(10)]
+        assert replayed == produced
+
+
+class TestTraceWorkload:
+    def test_cycles_when_exhausted(self, rng) -> None:
+        trace = TraceWorkload([["a"], ["b"]], cycle=True)
+        out = [trace.access_set(rng, 0.0)[0] for _ in range(5)]
+        assert out == ["a", "b", "a", "b", "a"]
+        assert trace.wraps == 2
+
+    def test_non_cycling_raises_on_exhaustion(self, rng) -> None:
+        trace = TraceWorkload([["a"]], cycle=False)
+        trace.access_set(rng, 0.0)
+        with pytest.raises(ConfigurationError):
+            trace.access_set(rng, 0.0)
+
+    def test_reset(self, rng) -> None:
+        trace = TraceWorkload([["a"], ["b"]])
+        trace.access_set(rng, 0.0)
+        trace.reset()
+        assert trace.access_set(rng, 0.0) == ["a"]
+        assert trace.wraps == 0
+
+    def test_all_keys_inferred_in_order(self) -> None:
+        trace = TraceWorkload([["b", "a"], ["a", "c"]])
+        assert list(trace.all_keys()) == ["b", "a", "c"]
+
+    def test_empty_trace_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            TraceWorkload([])
+
+    def test_returns_copies(self, rng) -> None:
+        trace = TraceWorkload([["a", "b"]])
+        first = trace.access_set(rng, 0.0)
+        first.append("mutated")
+        trace.reset()
+        assert trace.access_set(rng, 0.0) == ["a", "b"]
+
+
+class TestTraceSerialisation:
+    def test_round_trip(self, tmp_path, rng) -> None:
+        original = TraceWorkload([["a", "b"], ["c"]], all_keys=["a", "b", "c", "d"])
+        path = tmp_path / "trace.jsonl"
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert len(loaded) == 2
+        assert list(loaded.all_keys()) == ["a", "b", "c", "d"]
+        assert loaded.access_set(rng, 0.0) == ["a", "b"]
+        assert loaded.access_set(rng, 0.0) == ["c"]
+
+    def test_recorder_saves_directly(self, tmp_path, rng) -> None:
+        inner = PerfectClusterWorkload(n_objects=10, cluster_size=5)
+        recorder = TraceRecorder(inner)
+        recorder.access_set(rng, 0.0)
+        path = tmp_path / "trace.jsonl"
+        save_trace(recorder, path)
+        assert len(load_trace(path)) == 1
+
+
+class TestStalenessProbe:
+    def make_probe(self) -> StalenessProbe:
+        probe = StalenessProbe()
+        # History: k written at versions 1, 3, 7; m at 2.
+        for version, keys in ((1, ["k"]), (2, ["m"]), (3, ["k"]), (7, ["k"])):
+            probe.record_update(
+                CommittedTransaction(
+                    txn_id=version,
+                    reads={key: 0 for key in keys},
+                    writes={key: version for key in keys},
+                )
+            )
+        return probe
+
+    def record(self, probe, reads) -> None:
+        probe.record_read_only(
+            ReadOnlyTransactionRecord(txn_id=1, reads=reads)
+        )
+
+    def test_fresh_reads_not_stale(self) -> None:
+        probe = self.make_probe()
+        self.record(probe, {"k": 7, "m": 2})
+        report = probe.report()
+        assert report.stale_reads == 0
+        assert report.stale_ratio == 0.0
+
+    def test_depth_counts_skipped_versions(self) -> None:
+        probe = self.make_probe()
+        self.record(probe, {"k": 1})   # behind versions 3 and 7 -> depth 2
+        self.record(probe, {"k": 3})   # behind version 7 -> depth 1
+        report = probe.report()
+        assert report.depth_histogram == {1: 1, 2: 1}
+        assert report.mean_depth == pytest.approx(1.5)
+        assert report.shallow_fraction == pytest.approx(0.5)
+
+    def test_worst_keys_ranked(self) -> None:
+        probe = self.make_probe()
+        for _ in range(3):
+            self.record(probe, {"k": 1})
+        self.record(probe, {"m": 0})
+        report = probe.report()
+        assert report.worst_keys[0] == ("k", 3)
+        assert report.worst_keys[1] == ("m", 1)
+
+    def test_unknown_key_is_not_stale(self) -> None:
+        probe = self.make_probe()
+        self.record(probe, {"never-written": 0})
+        assert probe.report().stale_reads == 0
+
+    def test_integration_with_column(self) -> None:
+        """The probe runs alongside a real column and sees staleness."""
+        from repro.experiments.config import ColumnConfig
+        from repro.experiments.runner import build_column
+
+        workload = PerfectClusterWorkload(n_objects=100, cluster_size=5)
+        column = build_column(
+            ColumnConfig(seed=3, duration=4.0, warmup=0.0, deplist_max=0), workload
+        )
+        probe = StalenessProbe()
+        column.database.add_commit_listener(probe.record_update)
+        column.cache.add_transaction_listener(probe.record_read_only)
+        column.sim.run(until=column.config.total_time)
+        report = probe.report()
+        assert report.reads_observed > 1000
+        assert report.stale_reads > 0
+        assert 0.0 < report.shallow_fraction <= 1.0

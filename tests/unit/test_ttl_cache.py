@@ -1,0 +1,56 @@
+"""Unit tests for the TTL cache baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.ttl import TTLCache
+from repro.errors import ConfigurationError
+from repro.sim.core import Simulator
+from tests.helpers import FakeBackend
+
+
+@pytest.fixture
+def backend() -> FakeBackend:
+    return FakeBackend({"a": "a0", "b": "b0"})
+
+
+class TestTTLCache:
+    def test_requires_positive_ttl(self, sim, backend) -> None:
+        with pytest.raises(ConfigurationError):
+            TTLCache(sim, backend, ttl=0.0)
+        with pytest.raises(ConfigurationError):
+            TTLCache(sim, backend, ttl=-1.0)
+
+    def test_entry_refetched_after_expiry(self, sim, backend) -> None:
+        cache = TTLCache(sim, backend, ttl=5.0)
+        cache.read(1, "a", last_op=True)
+        backend.commit(["a"])  # invalidation lost
+        sim.run(until=4.0)
+        stale = cache.read(2, "a", last_op=True)
+        assert stale.version == 0  # still stale within the TTL
+        sim.run(until=5.5)
+        fresh = cache.read(3, "a", last_op=True)
+        assert fresh.version == 1  # expiry forced a re-fetch
+        assert fresh.cache_miss is True
+        assert cache.stats.ttl_expirations == 1
+
+    def test_ttl_bounds_staleness_but_costs_db_reads(self, sim, backend) -> None:
+        cache = TTLCache(sim, backend, ttl=1.0)
+        for round_index in range(5):
+            sim.run(until=float(round_index) * 1.1 + 0.01)
+            cache.read(round_index + 1, "a", last_op=True)
+        # Every read after the first expired and hit the backend.
+        assert cache.stats.misses == 5
+        assert backend.reads == 5
+
+    def test_never_aborts(self, sim, backend) -> None:
+        cache = TTLCache(sim, backend, ttl=100.0)
+        cache.read(1, "a")
+        backend.commit(["a", "b"])
+        cache.read(1, "b", last_op=True)  # torn read, silently committed
+        assert cache.stats.transactions_aborted == 0
+        assert cache.stats.transactions_committed == 1
+
+    def test_ttl_property_exposed(self, sim, backend) -> None:
+        assert TTLCache(sim, backend, ttl=7.0).ttl == 7.0

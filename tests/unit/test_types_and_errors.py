@@ -1,0 +1,81 @@
+"""Unit tests for shared value types and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.types import (
+    CommittedTransaction,
+    DepEntry,
+    VersionedValue,
+    entries_from_pairs,
+)
+
+
+class TestVersionedValue:
+    def test_dep_on_returns_max_version(self) -> None:
+        entry = VersionedValue(
+            key="a",
+            value=1,
+            version=5,
+            deps=entries_from_pairs([("b", 3), ("c", 1), ("b", 7)]),
+        )
+        assert entry.dep_on("b") == 7
+        assert entry.dep_on("c") == 1
+        assert entry.dep_on("missing") is None
+
+    def test_immutability(self) -> None:
+        entry = VersionedValue(key="a", value=1, version=5)
+        with pytest.raises(AttributeError):
+            entry.version = 6  # type: ignore[misc]
+
+
+class TestCommittedTransaction:
+    def test_keys_union(self) -> None:
+        txn = CommittedTransaction(txn_id=3, reads={"a": 1, "b": 2}, writes={"b": 3, "c": 3})
+        assert txn.keys() == {"a", "b", "c"}
+
+
+class TestErrors:
+    def test_hierarchy(self) -> None:
+        assert issubclass(errors.TransactionAborted, errors.TransactionError)
+        assert issubclass(errors.InconsistencyDetected, errors.TransactionAborted)
+        assert issubclass(errors.DeadlockDetected, errors.TransactionError)
+        assert issubclass(errors.TransactionError, errors.ReproError)
+        assert issubclass(errors.KeyNotFound, errors.ReproError)
+        assert issubclass(errors.ConfigurationError, errors.ReproError)
+
+    def test_catching_the_family(self) -> None:
+        with pytest.raises(errors.ReproError):
+            raise errors.InconsistencyDetected(
+                1, "k", 1, 2, stale_read_is_current=True
+            )
+
+    def test_inconsistency_carries_structure(self) -> None:
+        error = errors.InconsistencyDetected(
+            7, "photo:1", found_version=3, required_version=9, stale_read_is_current=False
+        )
+        assert error.txn_id == 7
+        assert error.key == "photo:1"
+        assert error.found_version == 3
+        assert error.required_version == 9
+        assert not error.stale_read_is_current
+        assert "photo:1" in str(error)
+        assert "earlier read too old" in str(error)
+
+    def test_key_not_found_names_the_key(self) -> None:
+        error = errors.KeyNotFound("missing")
+        assert error.key == "missing"
+        assert "missing" in str(error)
+
+    def test_participant_failure_names_participant(self) -> None:
+        error = errors.ParticipantFailure("shard3", "crashed")
+        assert error.participant == "shard3"
+
+
+class TestDepEntry:
+    def test_hashable_and_frozen(self) -> None:
+        assert len({DepEntry("a", 1), DepEntry("a", 1), DepEntry("a", 2)}) == 2
+        with pytest.raises(AttributeError):
+            DepEntry("a", 1).version = 2  # type: ignore[misc]

@@ -1,0 +1,78 @@
+"""Unit tests for the write-ahead log."""
+
+from __future__ import annotations
+
+from repro.db.wal import RecordType, WriteAheadLog
+
+
+class TestAppend:
+    def test_lsns_are_dense_and_ordered(self) -> None:
+        wal = WriteAheadLog()
+        records = [wal.append(RecordType.BEGIN, txn_id=i) for i in range(5)]
+        assert [r.lsn for r in records] == [0, 1, 2, 3, 4]
+        assert len(wal) == 5
+
+    def test_payload_round_trips(self) -> None:
+        wal = WriteAheadLog()
+        record = wal.append(RecordType.PREPARE, 7, {"k": "v"})
+        assert record.payload == {"k": "v"}
+
+    def test_records_for_filters_by_transaction(self) -> None:
+        wal = WriteAheadLog()
+        wal.append(RecordType.BEGIN, 1)
+        wal.append(RecordType.BEGIN, 2)
+        wal.append(RecordType.COMMIT, 1)
+        assert [r.record_type for r in wal.records_for(1)] == [
+            RecordType.BEGIN,
+            RecordType.COMMIT,
+        ]
+
+    def test_iteration_yields_in_lsn_order(self) -> None:
+        wal = WriteAheadLog()
+        wal.append(RecordType.BEGIN, 1)
+        wal.append(RecordType.PREPARE, 1)
+        assert [r.lsn for r in wal] == [0, 1]
+
+    def test_truncate(self) -> None:
+        wal = WriteAheadLog()
+        wal.append(RecordType.BEGIN, 1)
+        wal.truncate()
+        assert len(wal) == 0
+
+
+class TestRecoveryAnalysis:
+    def test_prepared_without_decision_is_in_doubt(self) -> None:
+        wal = WriteAheadLog()
+        wal.append(RecordType.BEGIN, 1)
+        wal.append(RecordType.PREPARE, 1, {"a": 1})
+        in_doubt = wal.prepared_undecided()
+        assert set(in_doubt) == {1}
+        assert in_doubt[1].payload == {"a": 1}
+
+    def test_committed_transaction_is_not_in_doubt(self) -> None:
+        wal = WriteAheadLog()
+        wal.append(RecordType.PREPARE, 1, {})
+        wal.append(RecordType.COMMIT, 1)
+        assert wal.prepared_undecided() == {}
+
+    def test_aborted_transaction_is_not_in_doubt(self) -> None:
+        wal = WriteAheadLog()
+        wal.append(RecordType.PREPARE, 1, {})
+        wal.append(RecordType.ABORT, 1)
+        assert wal.prepared_undecided() == {}
+
+    def test_mixed_history(self) -> None:
+        wal = WriteAheadLog()
+        for txn in (1, 2, 3):
+            wal.append(RecordType.BEGIN, txn)
+            wal.append(RecordType.PREPARE, txn, {"txn": txn})
+        wal.append(RecordType.COMMIT, 1)
+        wal.append(RecordType.ABORT, 3)
+        assert set(wal.prepared_undecided()) == {2}
+
+    def test_committed_transactions_listing(self) -> None:
+        wal = WriteAheadLog()
+        wal.append(RecordType.PREPARE, 5, {})
+        wal.append(RecordType.COMMIT, 5)
+        wal.append(RecordType.COMMIT, 9)
+        assert wal.committed_transactions() == [5, 9]

@@ -1,0 +1,71 @@
+"""Unit tests for workload characterisation: the stand-ins land in the
+regimes that drive T-Cache's behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.stats import pair_affinity, profile_workload
+from repro.workloads.synthetic import (
+    ParetoClusterWorkload,
+    PerfectClusterWorkload,
+    UniformWorkload,
+)
+
+
+def profile(workload, samples=1500, seed=3):
+    return profile_workload(
+        workload, samples=samples, rng=np.random.default_rng(seed)
+    )
+
+
+class TestProfiles:
+    def test_uniform_workload_profile(self) -> None:
+        # A universe large enough that birthday collisions between random
+        # pairs stay rare over the sample budget.
+        result = profile(UniformWorkload(n_objects=1000))
+        assert result.coverage > 0.99
+        assert result.popularity_gini < 0.25          # near-uniform popularity
+        assert result.pair_recurrence < 0.1           # pairs rarely repeat
+
+    def test_perfect_clusters_have_high_pair_recurrence(self) -> None:
+        result = profile(PerfectClusterWorkload(n_objects=200, cluster_size=5))
+        # Only 10 pairs exist within each 5-cluster: co-access repeats a lot.
+        assert result.pair_recurrence > 0.9
+        assert result.mean_txn_size < 5.0              # draws with repetition
+
+    def test_pareto_alpha_orders_recurrence(self) -> None:
+        spiked = profile(ParetoClusterWorkload(n_objects=500, cluster_size=5, alpha=4.0))
+        flat = profile(ParetoClusterWorkload(n_objects=500, cluster_size=5, alpha=1 / 16))
+        assert spiked.pair_recurrence > flat.pair_recurrence + 0.3
+
+    def test_realistic_standins_order_as_intended(self) -> None:
+        """Amazon-like must out-cluster Orkut-like in *co-access* terms —
+        the property Fig. 7/8 results hinge on."""
+        from repro.experiments.realistic import realistic_workload
+
+        amazon = profile(realistic_workload("amazon", sample_nodes=400), samples=1000)
+        orkut = profile(realistic_workload("orkut", sample_nodes=400), samples=1000)
+        assert amazon.pair_recurrence > orkut.pair_recurrence
+
+    def test_sample_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            profile_workload(UniformWorkload(10), samples=1)
+
+
+class TestPairAffinity:
+    def test_top_pairs_are_intra_cluster(self) -> None:
+        workload = PerfectClusterWorkload(n_objects=100, cluster_size=5)
+        top = pair_affinity(workload, samples=800, rng=np.random.default_rng(4))
+        assert top
+        from repro.workloads.base import index_of
+
+        for (a, b), count in top:
+            assert index_of(a) // 5 == index_of(b) // 5
+            assert count > 1
+
+    def test_returns_at_most_top(self) -> None:
+        workload = UniformWorkload(n_objects=50)
+        assert len(pair_affinity(workload, samples=100, top=5)) <= 5

@@ -1,0 +1,132 @@
+"""Unit tests for the graph stand-ins, sampling, and random-walk workloads."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.graphs import amazon_like_graph, orkut_like_graph, topology_stats
+from repro.workloads.sampling import random_walk_sample
+from repro.workloads.walker import RandomWalkWorkload, node_key
+
+
+class TestGenerators:
+    def test_amazon_like_is_strongly_clustered(self) -> None:
+        stats = topology_stats(amazon_like_graph(800, seed=1))
+        assert stats.mean_clustering > 0.4
+
+    def test_orkut_like_is_weakly_clustered_but_denser(self) -> None:
+        amazon = topology_stats(amazon_like_graph(800, seed=1))
+        orkut = topology_stats(orkut_like_graph(800, seed=2))
+        # The paper: "visibly clustered, the Amazon topology more so than
+        # the Orkut one".
+        assert orkut.mean_clustering < amazon.mean_clustering / 3
+        assert orkut.mean_degree > amazon.mean_degree
+
+    def test_sizes_respected(self) -> None:
+        assert amazon_like_graph(800, seed=1).number_of_nodes() == 800
+        # The Orkut generator draws community sizes, so allow slack.
+        n = orkut_like_graph(800, seed=1).number_of_nodes()
+        assert 700 <= n <= 900
+
+    def test_determinism(self) -> None:
+        a = amazon_like_graph(200, seed=5)
+        b = amazon_like_graph(200, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_too_small_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            amazon_like_graph(5)
+        with pytest.raises(ConfigurationError):
+            orkut_like_graph(5)
+
+
+class TestSampling:
+    @pytest.fixture
+    def parent(self) -> nx.Graph:
+        return amazon_like_graph(1600, seed=3)
+
+    def test_sample_has_requested_size(self, parent, rng) -> None:
+        sample = random_walk_sample(parent, 400, rng)
+        assert sample.number_of_nodes() == 400
+
+    def test_sample_is_subgraph(self, parent, rng) -> None:
+        sample = random_walk_sample(parent, 300, rng)
+        assert set(sample.nodes()) <= set(parent.nodes())
+        for u, v in sample.edges():
+            assert parent.has_edge(u, v)
+
+    def test_sample_preserves_clustering_roughly(self, parent, rng) -> None:
+        """The point of random-walk sampling [16]: clustering survives."""
+        sample = random_walk_sample(parent, 400, rng)
+        parent_c = topology_stats(parent).mean_clustering
+        sample_c = topology_stats(sample).mean_clustering
+        assert sample_c > 0.5 * parent_c
+
+    def test_handles_disconnected_graphs(self, rng) -> None:
+        graph = nx.disjoint_union(nx.complete_graph(30), nx.complete_graph(30))
+        sample = random_walk_sample(graph, 45, rng, stall_limit=50)
+        assert sample.number_of_nodes() == 45
+
+    def test_handles_isolated_nodes(self, rng) -> None:
+        graph = nx.complete_graph(20)
+        graph.add_nodes_from(range(100, 110))  # isolates
+        sample = random_walk_sample(graph, 25, rng, stall_limit=20)
+        assert sample.number_of_nodes() == 25
+
+    def test_invalid_parameters_rejected(self, parent, rng) -> None:
+        with pytest.raises(ConfigurationError):
+            random_walk_sample(parent, 0, rng)
+        with pytest.raises(ConfigurationError):
+            random_walk_sample(parent, parent.number_of_nodes() + 1, rng)
+        with pytest.raises(ConfigurationError):
+            random_walk_sample(parent, 10, rng, restart_probability=1.0)
+
+    def test_sampling_entire_graph(self, rng) -> None:
+        graph = nx.complete_graph(12)
+        sample = random_walk_sample(graph, 12, rng)
+        assert sample.number_of_nodes() == 12
+
+
+class TestRandomWalkWorkload:
+    @pytest.fixture
+    def workload(self) -> RandomWalkWorkload:
+        return RandomWalkWorkload(amazon_like_graph(400, seed=4), txn_size=5)
+
+    def test_access_set_size_bounded_by_walk_length(self, workload, rng) -> None:
+        sizes = [len(workload.access_set(rng, 0.0)) for _ in range(300)]
+        assert max(sizes) <= 5
+        assert min(sizes) >= 1
+        # Revisits make some walks collapse below 5 distinct nodes.
+        assert any(size < 5 for size in sizes)
+
+    def test_accesses_are_topologically_connected(self, workload, rng) -> None:
+        graph = workload.graph
+        for _ in range(100):
+            accesses = workload.access_set(rng, 0.0)
+            nodes = [int(key[1:]) for key in accesses]
+            induced = graph.subgraph(nodes)
+            assert nx.is_connected(induced)
+
+    def test_all_keys_cover_graph(self, workload) -> None:
+        assert len(workload.all_keys()) == workload.graph.number_of_nodes()
+
+    def test_keys_are_distinct_per_transaction(self, workload, rng) -> None:
+        for _ in range(100):
+            accesses = workload.access_set(rng, 0.0)
+            assert len(accesses) == len(set(accesses))
+
+    def test_node_key_format(self) -> None:
+        assert node_key(17) == "n17"
+
+    def test_empty_graph_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            RandomWalkWorkload(nx.Graph())
+
+    def test_isolated_start_yields_singleton(self, rng) -> None:
+        graph = nx.Graph()
+        graph.add_node(0)
+        workload = RandomWalkWorkload(graph, txn_size=5)
+        assert workload.access_set(rng, 0.0) == [node_key(0)]

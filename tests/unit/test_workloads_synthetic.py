@@ -1,0 +1,166 @@
+"""Unit tests for the synthetic workload generators (§V-A1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import index_of, key_for
+from repro.workloads.synthetic import (
+    DriftingClusterWorkload,
+    ParetoClusterWorkload,
+    PerfectClusterWorkload,
+    PhaseSwitchWorkload,
+    UniformWorkload,
+)
+
+
+class TestKeyNaming:
+    def test_round_trip(self) -> None:
+        for index in (0, 7, 1999, 123456):
+            assert index_of(key_for(index)) == index
+
+    def test_keys_sort_numerically(self) -> None:
+        keys = [key_for(i) for i in range(200)]
+        assert keys == sorted(keys)
+
+
+class TestPerfectClusters:
+    def test_accesses_confined_to_one_cluster(self, rng) -> None:
+        workload = PerfectClusterWorkload(n_objects=2000, cluster_size=5)
+        for _ in range(200):
+            accesses = workload.access_set(rng, now=0.0)
+            clusters = {index_of(k) // 5 for k in accesses}
+            assert len(clusters) == 1
+            assert len(accesses) == 5
+
+    def test_repetitions_allowed(self, rng) -> None:
+        workload = PerfectClusterWorkload(n_objects=100, cluster_size=5)
+        saw_repeat = any(
+            len(set(workload.access_set(rng, 0.0))) < 5 for _ in range(100)
+        )
+        assert saw_repeat  # 5 draws from 5 objects repeat often
+
+    def test_all_clusters_reachable(self, rng) -> None:
+        workload = PerfectClusterWorkload(n_objects=50, cluster_size=5)
+        clusters = set()
+        for _ in range(500):
+            clusters.add(index_of(workload.access_set(rng, 0.0)[0]) // 5)
+        assert clusters == set(range(10))
+
+    def test_cluster_size_must_divide(self) -> None:
+        with pytest.raises(ConfigurationError):
+            PerfectClusterWorkload(n_objects=11, cluster_size=5)
+
+    def test_all_keys(self) -> None:
+        workload = PerfectClusterWorkload(n_objects=10, cluster_size=5)
+        assert len(workload.all_keys()) == 10
+
+
+class TestParetoClusters:
+    def test_high_alpha_stays_in_cluster(self, rng) -> None:
+        workload = ParetoClusterWorkload(n_objects=2000, cluster_size=5, alpha=4.0)
+        in_cluster = 0
+        total = 0
+        for _ in range(300):
+            accesses = workload.access_set(rng, 0.0)
+            head = index_of(accesses[0]) // 5  # approximation: first access
+            for key in accesses:
+                total += 1
+                if index_of(key) // 5 == head:
+                    in_cluster += 1
+        assert in_cluster / total > 0.9
+
+    def test_low_alpha_spreads_widely(self, rng) -> None:
+        workload = ParetoClusterWorkload(n_objects=2000, cluster_size=5, alpha=1 / 32)
+        distinct_clusters = set()
+        for _ in range(300):
+            for key in workload.access_set(rng, 0.0):
+                distinct_clusters.add(index_of(key) // 5)
+        assert len(distinct_clusters) > 100
+
+    def test_wraparound_stays_in_range(self, rng) -> None:
+        workload = ParetoClusterWorkload(n_objects=50, cluster_size=5, alpha=0.1)
+        for _ in range(500):
+            for key in workload.access_set(rng, 0.0):
+                assert 0 <= index_of(key) < 50
+
+    def test_invalid_alpha_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            ParetoClusterWorkload(alpha=0.0)
+
+
+class TestUniform:
+    def test_spreads_over_everything(self, rng) -> None:
+        workload = UniformWorkload(n_objects=100, txn_size=5)
+        seen = set()
+        for _ in range(500):
+            seen.update(index_of(k) for k in workload.access_set(rng, 0.0))
+        assert len(seen) == 100
+
+    def test_invalid_sizes_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            UniformWorkload(n_objects=0)
+        with pytest.raises(ConfigurationError):
+            UniformWorkload(n_objects=10, txn_size=0)
+
+
+class TestPhaseSwitch:
+    def test_delegates_by_time(self, rng) -> None:
+        workload = PhaseSwitchWorkload(
+            before=UniformWorkload(1000),
+            after=PerfectClusterWorkload(1000, cluster_size=5),
+            switch_time=58.0,
+        )
+        # After the switch every access set is single-cluster.
+        for _ in range(100):
+            accesses = workload.access_set(rng, now=60.0)
+            assert len({index_of(k) // 5 for k in accesses}) == 1
+        # Before, essentially never.
+        multi = sum(
+            1
+            for _ in range(100)
+            if len({index_of(k) // 5 for k in workload.access_set(rng, 10.0)}) > 1
+        )
+        assert multi > 80
+
+    def test_key_universe_must_match(self) -> None:
+        with pytest.raises(ConfigurationError):
+            PhaseSwitchWorkload(UniformWorkload(10), UniformWorkload(20), 1.0)
+
+    def test_all_keys_from_before_phase(self) -> None:
+        workload = PhaseSwitchWorkload(UniformWorkload(10), UniformWorkload(10), 1.0)
+        assert len(workload.all_keys()) == 10
+
+
+class TestDrift:
+    def test_shift_index_advances_with_time(self) -> None:
+        workload = DriftingClusterWorkload(n_objects=20, cluster_size=5, shift_interval=180.0)
+        assert workload.shift_at(0.0) == 0
+        assert workload.shift_at(179.9) == 0
+        assert workload.shift_at(180.0) == 1
+        assert workload.shift_at(900.0) == 5
+
+    def test_clusters_shift_by_one(self, rng) -> None:
+        workload = DriftingClusterWorkload(n_objects=20, cluster_size=5, shift_interval=10.0)
+        # At shift s, cluster j covers indices (5j + s + 0..4) mod 20, so
+        # un-shifting every accessed index must land inside one cluster.
+        for now, shift in ((0.0, 0), (10.0, 1), (25.0, 2)):
+            for _ in range(50):
+                indices = {index_of(k) for k in workload.access_set(rng, now)}
+                unshifted = {(i - shift) % 20 for i in indices}
+                clusters = {u // 5 for u in unshifted}
+                assert len(clusters) == 1
+
+    def test_wraps_around_the_range(self, rng) -> None:
+        workload = DriftingClusterWorkload(n_objects=20, cluster_size=5, shift_interval=1.0)
+        seen = set()
+        for now in np.linspace(0, 19, 20):
+            for _ in range(20):
+                seen.update(index_of(k) for k in workload.access_set(rng, float(now)))
+        assert seen == set(range(20))
+
+    def test_invalid_interval_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            DriftingClusterWorkload(shift_interval=0.0)
