@@ -8,6 +8,11 @@ asserts the qualitative shape.
 ``REPRO_BENCH_SCALE`` scales simulated durations: 1.0 (default) runs the
 full-fidelity experiments; smaller values (e.g. 0.3) run faster
 sanity-level sweeps with the same shapes.
+
+``REPRO_BENCH_JOBS`` sets the worker-process count the figure sweeps fan
+their columns across (default 1, i.e. serial — wall-clock numbers stay
+comparable run to run).  Column results are deterministic per seed, so any
+job count reproduces the same series.
 """
 
 from __future__ import annotations
@@ -25,9 +30,23 @@ def _scale() -> float:
     return min(max(value, 0.05), 4.0)
 
 
+def _jobs() -> int:
+    try:
+        value = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    except ValueError:
+        return 1
+    return min(max(value, 1), 64)
+
+
 @pytest.fixture(scope="session")
 def scale() -> float:
     return _scale()
+
+
+@pytest.fixture(scope="session")
+def jobs() -> int:
+    """Sweep worker processes for the figure benchmarks."""
+    return _jobs()
 
 
 @pytest.fixture(scope="session")

@@ -15,9 +15,9 @@ PAPER_NOTES = (
 )
 
 
-def test_fig3_alpha_sweep(benchmark, duration):
+def test_fig3_alpha_sweep(benchmark, duration, jobs):
     rows = benchmark.pedantic(
-        lambda: fig3_alpha.run(duration=duration), rounds=1, iterations=1
+        lambda: fig3_alpha.run(duration=duration, jobs=jobs), rounds=1, iterations=1
     )
     print()
     print(format_table(rows, title="Figure 3: detection ratio vs Pareto alpha"))

@@ -18,11 +18,11 @@ PAPER_NOTES = (
 )
 
 
-def test_fig4_convergence(benchmark, scale):
+def test_fig4_convergence(benchmark, scale, jobs):
     duration = 160.0 * scale
     switch = 58.0 * scale
     rows = benchmark.pedantic(
-        lambda: fig4_convergence.run(duration=duration, switch_time=switch),
+        lambda: fig4_convergence.run(duration=duration, switch_time=switch, jobs=jobs),
         rounds=1,
         iterations=1,
     )

@@ -21,7 +21,7 @@ PAPER_NOTES = (
 )
 
 
-def test_fig5_drift(benchmark, scale):
+def test_fig5_drift(benchmark, scale, jobs):
     duration = 800.0 * scale
     shift_interval = 180.0 * scale
     window = 5.0 * scale
@@ -30,6 +30,7 @@ def test_fig5_drift(benchmark, scale):
             duration=duration,
             shift_interval=shift_interval,
             window=window,
+            jobs=jobs,
         ),
         rounds=1,
         iterations=1,

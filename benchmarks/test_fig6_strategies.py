@@ -18,9 +18,9 @@ PAPER_NOTES = (
 )
 
 
-def test_fig6_strategies(benchmark, duration):
+def test_fig6_strategies(benchmark, duration, jobs):
     rows = benchmark.pedantic(
-        lambda: fig6_strategies.run(duration=duration), rounds=1, iterations=1
+        lambda: fig6_strategies.run(duration=duration, jobs=jobs), rounds=1, iterations=1
     )
     print()
     print(format_table(rows, title="Figure 6: strategy comparison (synthetic)"))

@@ -24,9 +24,9 @@ PAPER_NOTES = (
 )
 
 
-def test_fig7d_ttl_sweep(benchmark, duration):
+def test_fig7d_ttl_sweep(benchmark, duration, jobs):
     rows = benchmark.pedantic(
-        lambda: fig7_realistic.run_ttl_sweep(duration=duration),
+        lambda: fig7_realistic.run_ttl_sweep(duration=duration, jobs=jobs),
         rounds=1,
         iterations=1,
     )

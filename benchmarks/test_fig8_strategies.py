@@ -17,9 +17,9 @@ PAPER_NOTES = (
 )
 
 
-def test_fig8_strategies(benchmark, duration):
+def test_fig8_strategies(benchmark, duration, jobs):
     rows = benchmark.pedantic(
-        lambda: fig8_strategies.run(duration=duration), rounds=1, iterations=1
+        lambda: fig8_strategies.run(duration=duration, jobs=jobs), rounds=1, iterations=1
     )
     print()
     print(format_table(rows, title="Figure 8: strategy comparison (realistic)"))

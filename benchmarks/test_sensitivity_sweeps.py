@@ -16,9 +16,9 @@ from repro.experiments import sensitivity
 from repro.experiments.report import format_table
 
 
-def test_cluster_size_vs_deplist_bound(benchmark, duration):
+def test_cluster_size_vs_deplist_bound(benchmark, duration, jobs):
     rows = benchmark.pedantic(
-        lambda: sensitivity.run_cluster_size_vs_k(duration=duration / 2),
+        lambda: sensitivity.run_cluster_size_vs_k(duration=duration / 2, jobs=jobs),
         rounds=1,
         iterations=1,
     )
@@ -43,9 +43,9 @@ def test_cluster_size_vs_deplist_bound(benchmark, duration):
             assert starved < min(saturated)
 
 
-def test_invalidation_loss_sweep(benchmark, duration):
+def test_invalidation_loss_sweep(benchmark, duration, jobs):
     rows = benchmark.pedantic(
-        lambda: sensitivity.run_loss_sweep(duration=duration / 2),
+        lambda: sensitivity.run_loss_sweep(duration=duration / 2, jobs=jobs),
         rounds=1,
         iterations=1,
     )
@@ -61,9 +61,9 @@ def test_invalidation_loss_sweep(benchmark, duration):
         assert row["tcache_inconsistency_pct"] < 1.0
 
 
-def test_update_pressure_sweep(benchmark, duration):
+def test_update_pressure_sweep(benchmark, duration, jobs):
     rows = benchmark.pedantic(
-        lambda: sensitivity.run_update_pressure_sweep(duration=duration / 2),
+        lambda: sensitivity.run_update_pressure_sweep(duration=duration / 2, jobs=jobs),
         rounds=1,
         iterations=1,
     )

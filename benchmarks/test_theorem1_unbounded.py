@@ -18,9 +18,9 @@ PAPER_NOTES = (
 )
 
 
-def test_theorem1_unbounded(benchmark, duration):
+def test_theorem1_unbounded(benchmark, duration, jobs):
     rows = benchmark.pedantic(
-        lambda: theorem1.run(duration=max(duration * 0.67, 10.0)),
+        lambda: theorem1.run(duration=max(duration * 0.67, 10.0), jobs=jobs),
         rounds=1,
         iterations=1,
     )

@@ -9,11 +9,30 @@ per evaluation figure.
   — parameter sweeps reproducing Figures 3–8.
 * :mod:`repro.experiments.theorem1` — the unbounded-resources configuration
   of Theorem 1.
-* :mod:`repro.experiments.report` — plain-text table rendering shared by
-  benches and examples.
+* :mod:`repro.experiments.sweep` — the declarative, ``multiprocessing``-backed
+  sweep engine every figure module builds its grid on.
+* :mod:`repro.experiments.report` — plain-text table rendering and JSON
+  artifact output shared by the CLI, benches and examples.
 """
 
 from repro.experiments.config import ColumnConfig, CacheKind
 from repro.experiments.runner import ColumnResult, run_column
+from repro.experiments.sweep import (
+    SweepPoint,
+    SweepResult,
+    SweepSpec,
+    derive_seed,
+    run_sweep,
+)
 
-__all__ = ["CacheKind", "ColumnConfig", "ColumnResult", "run_column"]
+__all__ = [
+    "CacheKind",
+    "ColumnConfig",
+    "ColumnResult",
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
+    "derive_seed",
+    "run_column",
+    "run_sweep",
+]

@@ -1,17 +1,22 @@
 """Command-line entry point for the paper's experiments.
 
-Run any figure's sweep and print the series it plots::
+Run any figure's sweep, fan its columns across worker processes, print the
+series it plots, and optionally write a machine-readable artifact::
 
     python -m repro.experiments fig3
-    python -m repro.experiments fig7c --duration 20
+    python -m repro.experiments fig7c --duration 20 --jobs 4
+    python -m repro.experiments fig8 --jobs 4 --json fig8.json
     python -m repro.experiments all --duration 15
 
-Figure ids: fig3, fig4, fig5, fig6, fig7ab, fig7c, fig7d, fig8, theorem1.
+Figure ids: fig3, fig4, fig5, fig6, fig7ab, fig7c, fig7d, fig8, theorem1,
+sensitivity.  ``--jobs`` defaults to every available CPU; ``--jobs 1`` runs
+serially and produces identical series for the same root seed.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -22,84 +27,181 @@ from repro.experiments import (
     fig6_strategies,
     fig7_realistic,
     fig8_strategies,
+    realistic,
+    sensitivity,
     theorem1,
 )
-from repro.experiments.realistic import topology_rows
-from repro.experiments.report import print_table
+from repro.experiments.report import (
+    ARTIFACT_SCHEMA,
+    experiment_payload,
+    print_table,
+    write_json,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.sweep import resolve_jobs, spec_artifact
 
 
-def _run_fig3(duration: float) -> None:
-    print_table(
-        fig3_alpha.run(duration=duration),
-        title="Figure 3: detected inconsistencies vs Pareto alpha",
-    )
+def _jobs_arg(text: str) -> int:
+    """argparse adapter around :func:`resolve_jobs`'s validation."""
+    try:
+        return resolve_jobs(int(text))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
 
 
-def _run_fig4(duration: float) -> None:
+#: A printed/serialised unit: title + full rows (+ display stride for the
+#: long time series, which are sampled on the terminal but kept whole in
+#: ``--json`` artifacts).
+Section = dict
+
+
+def _section(title: str, rows: list[dict], stride: int = 1) -> Section:
+    return {"title": title, "rows": rows, "stride": stride}
+
+
+def _run_fig3(duration: float, jobs: int):
+    sections = [
+        _section(
+            "Figure 3: detected inconsistencies vs Pareto alpha",
+            fig3_alpha.run(duration=duration, jobs=jobs),
+        )
+    ]
+    return sections, [fig3_alpha.spec(duration=duration)]
+
+
+def _run_fig4(duration: float, jobs: int):
     scale = duration / 30.0
-    rows = fig4_convergence.run(duration=160.0 * scale, switch_time=58.0 * scale)
-    stride = max(1, len(rows) // 24)
-    print_table(rows[::stride], title="Figure 4: convergence (sampled windows)")
-    summaries = fig4_convergence.phase_summaries(rows, switch_time=58.0 * scale)
-    print_table(
-        [
-            {"phase": "before", **summaries["before"]},
-            {"phase": "after", **summaries["after"]},
-        ],
-        title="phase means [txn/s]",
+    rows = fig4_convergence.run(
+        duration=160.0 * scale, switch_time=58.0 * scale, jobs=jobs
     )
+    summaries = fig4_convergence.phase_summaries(rows, switch_time=58.0 * scale)
+    sections = [
+        _section(
+            "Figure 4: convergence (sampled windows)",
+            rows,
+            stride=max(1, len(rows) // 24),
+        ),
+        _section(
+            "phase means [txn/s]",
+            [
+                {"phase": "before", **summaries["before"]},
+                {"phase": "after", **summaries["after"]},
+            ],
+        ),
+    ]
+    return sections, [
+        fig4_convergence.spec(duration=160.0 * scale, switch_time=58.0 * scale)
+    ]
 
 
-def _run_fig5(duration: float) -> None:
+def _run_fig5(duration: float, jobs: int):
     scale = duration / 30.0
     rows = fig5_drift.run(
-        duration=800.0 * scale, shift_interval=180.0 * scale, window=5.0 * scale
+        duration=800.0 * scale,
+        shift_interval=180.0 * scale,
+        window=5.0 * scale,
+        jobs=jobs,
     )
-    stride = max(1, len(rows) // 32)
-    print_table(rows[::stride], title="Figure 5: drifting clusters (sampled)")
-    print_table(
-        [fig5_drift.shift_spike_profile(rows, 180.0 * scale)],
-        title="spike profile",
-    )
+    sections = [
+        _section(
+            "Figure 5: drifting clusters (sampled)",
+            rows,
+            stride=max(1, len(rows) // 32),
+        ),
+        _section(
+            "spike profile",
+            [fig5_drift.shift_spike_profile(rows, 180.0 * scale)],
+        ),
+    ]
+    return sections, [
+        fig5_drift.spec(
+            duration=800.0 * scale,
+            shift_interval=180.0 * scale,
+            window=5.0 * scale,
+        )
+    ]
 
 
-def _run_fig6(duration: float) -> None:
-    print_table(
-        fig6_strategies.run(duration=duration),
-        title="Figure 6: strategies (synthetic, alpha=1)",
-    )
+def _run_fig6(duration: float, jobs: int):
+    sections = [
+        _section(
+            "Figure 6: strategies (synthetic, alpha=1)",
+            fig6_strategies.run(duration=duration, jobs=jobs),
+        )
+    ]
+    return sections, [fig6_strategies.spec(duration=duration)]
 
 
-def _run_fig7ab(duration: float) -> None:
-    print_table(topology_rows(), title="Figure 7ab: topology statistics")
+def _run_fig7ab(duration: float, jobs: int):
+    sections = [
+        _section("Figure 7ab: topology statistics", realistic.run(jobs=jobs))
+    ]
+    return sections, []
 
 
-def _run_fig7c(duration: float) -> None:
-    print_table(
-        fig7_realistic.run_deplist_sweep(duration=duration),
-        title="Figure 7c: dependency-list sweep",
-    )
+def _run_fig7c(duration: float, jobs: int):
+    sections = [
+        _section(
+            "Figure 7c: dependency-list sweep",
+            fig7_realistic.run_deplist_sweep(duration=duration, jobs=jobs),
+        )
+    ]
+    return sections, [fig7_realistic.deplist_spec(duration=duration)]
 
 
-def _run_fig7d(duration: float) -> None:
-    print_table(
-        fig7_realistic.run_ttl_sweep(duration=duration),
-        title="Figure 7d: TTL sweep",
-    )
+def _run_fig7d(duration: float, jobs: int):
+    sections = [
+        _section(
+            "Figure 7d: TTL sweep",
+            fig7_realistic.run_ttl_sweep(duration=duration, jobs=jobs),
+        )
+    ]
+    return sections, [fig7_realistic.ttl_spec(duration=duration)]
 
 
-def _run_fig8(duration: float) -> None:
-    print_table(
-        fig8_strategies.run(duration=duration),
-        title="Figure 8: strategies (realistic, k=3)",
-    )
+def _run_fig8(duration: float, jobs: int):
+    sections = [
+        _section(
+            "Figure 8: strategies (realistic, k=3)",
+            fig8_strategies.run(duration=duration, jobs=jobs),
+        )
+    ]
+    return sections, [fig8_strategies.spec(duration=duration)]
 
 
-def _run_theorem1(duration: float) -> None:
-    print_table(
-        theorem1.run(duration=duration),
-        title="Theorem 1: unbounded T-Cache",
-    )
+def _run_theorem1(duration: float, jobs: int):
+    sections = [
+        _section(
+            "Theorem 1: unbounded T-Cache",
+            theorem1.run(duration=duration, jobs=jobs),
+        )
+    ]
+    return sections, [theorem1.spec(duration=duration)]
+
+
+def _run_sensitivity(duration: float, jobs: int):
+    half = duration / 2.0
+    sections = [
+        _section(
+            "Sensitivity: cluster size vs k",
+            sensitivity.run_cluster_size_vs_k(duration=half, jobs=jobs),
+        ),
+        _section(
+            "Sensitivity: invalidation loss sweep",
+            sensitivity.run_loss_sweep(duration=half, jobs=jobs),
+        ),
+        _section(
+            "Sensitivity: update pressure sweep",
+            sensitivity.run_update_pressure_sweep(duration=half, jobs=jobs),
+        ),
+    ]
+    return sections, [
+        sensitivity.cluster_size_vs_k_spec(duration=half),
+        sensitivity.loss_spec(duration=half),
+        sensitivity.update_pressure_spec(duration=half),
+    ]
 
 
 EXPERIMENTS = {
@@ -112,6 +214,7 @@ EXPERIMENTS = {
     "fig7d": _run_fig7d,
     "fig8": _run_fig8,
     "theorem1": _run_theorem1,
+    "sensitivity": _run_sensitivity,
 }
 
 
@@ -131,13 +234,61 @@ def main(argv: list[str] | None = None) -> int:
         default=30.0,
         help="measured simulated seconds per run (default: 30, the paper scale)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=None,
+        help="worker processes for sweep columns (default: all CPUs; 1 = serial)",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="PATH",
+        default=None,
+        help="write the full (unsampled) rows plus run metadata as JSON",
+    )
     args = parser.parse_args(argv)
+    jobs = resolve_jobs(args.jobs)
+    if args.json_path:
+        # Fail before the sweeps run, not after minutes of simulation.
+        if os.path.isdir(args.json_path):
+            parser.error(f"--json: path is a directory: {args.json_path}")
+        directory = os.path.dirname(os.path.abspath(args.json_path))
+        if not os.path.isdir(directory):
+            parser.error(f"--json: directory does not exist: {directory}")
+        if not os.access(directory, os.W_OK):
+            parser.error(f"--json: directory is not writable: {directory}")
 
     selected = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    payloads = []
     for name in selected:
         start = time.perf_counter()
-        EXPERIMENTS[name](args.duration)
-        print(f"[{name} done in {time.perf_counter() - start:.1f}s]\n")
+        sections, specs = EXPERIMENTS[name](args.duration, jobs)
+        elapsed = time.perf_counter() - start
+        for section in sections:
+            stride = section.get("stride", 1)
+            print_table(section["rows"][::stride], title=section["title"])
+        print(f"[{name} done in {elapsed:.1f}s]\n")
+        payloads.append(
+            experiment_payload(
+                name,
+                sections,
+                wall_clock_seconds=elapsed,
+                sweep_specs=[spec_artifact(spec) for spec in specs],
+            )
+        )
+
+    if args.json_path:
+        write_json(
+            args.json_path,
+            {
+                "schema": ARTIFACT_SCHEMA,
+                "duration": args.duration,
+                "jobs": jobs,
+                "experiments": payloads,
+            },
+        )
+        print(f"[wrote {args.json_path}]")
     return 0
 
 

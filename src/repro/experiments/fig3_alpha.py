@@ -18,10 +18,11 @@ from dataclasses import replace
 
 from repro.core.strategies import Strategy
 from repro.experiments.config import ColumnConfig
-from repro.experiments.runner import run_column
+from repro.experiments.runner import ColumnResult, run_column
+from repro.experiments.sweep import SweepPoint, SweepSpec, derive_seed, run_sweep
 from repro.workloads.synthetic import ParetoClusterWorkload
 
-__all__ = ["DEFAULT_ALPHAS", "run", "run_point"]
+__all__ = ["DEFAULT_ALPHAS", "run", "run_point", "spec"]
 
 #: Powers of two from 1/32 to 4, the paper's sweep range.
 DEFAULT_ALPHAS: tuple[float, ...] = (
@@ -39,11 +40,33 @@ def base_config(seed: int = 11, duration: float = 30.0) -> ColumnConfig:
     )
 
 
-def run_point(alpha: float, config: ColumnConfig | None = None) -> dict[str, float]:
-    """One sweep point: detection ratio at a given Pareto alpha."""
-    config = config or base_config()
-    workload = ParetoClusterWorkload(n_objects=2000, cluster_size=5, alpha=alpha)
-    result = run_column(config, workload)
+def spec(
+    alphas: tuple[float, ...] = DEFAULT_ALPHAS,
+    *,
+    seed: int = 11,
+    duration: float = 30.0,
+) -> SweepSpec:
+    """The Figure 3 grid: one column per alpha, independently seeded."""
+    config = base_config(seed=seed, duration=duration)
+    return SweepSpec(
+        name="fig3",
+        description="detected inconsistencies vs Pareto alpha (§V-A)",
+        root_seed=seed,
+        points=[
+            SweepPoint(
+                label=f"alpha={alpha:g}",
+                config=replace(config, seed=derive_seed(seed, index)),
+                workload=ParetoClusterWorkload(
+                    n_objects=2000, cluster_size=5, alpha=alpha
+                ),
+                params={"alpha": alpha},
+            )
+            for index, alpha in enumerate(alphas)
+        ],
+    )
+
+
+def _row(alpha: float, result: ColumnResult) -> dict[str, float]:
     return {
         "alpha": alpha,
         "detected_inconsistencies_pct": 100.0 * result.detection_ratio,
@@ -53,22 +76,29 @@ def run_point(alpha: float, config: ColumnConfig | None = None) -> dict[str, flo
     }
 
 
+def run_point(alpha: float, config: ColumnConfig | None = None) -> dict[str, float]:
+    """One sweep point: detection ratio at a given Pareto alpha."""
+    config = config or base_config()
+    workload = ParetoClusterWorkload(n_objects=2000, cluster_size=5, alpha=alpha)
+    return _row(alpha, run_column(config, workload))
+
+
 def run(
     alphas: tuple[float, ...] = DEFAULT_ALPHAS,
     *,
     seed: int = 11,
     duration: float = 30.0,
+    jobs: int | None = 1,
 ) -> list[dict[str, float]]:
     """The full Figure 3 sweep; one row per alpha.
 
     Each point runs with an independently derived seed so the sweep is
-    reproducible point-by-point.
+    reproducible point-by-point and safe to fan out across ``jobs`` workers.
     """
-    rows = []
-    config = base_config(seed=seed, duration=duration)
-    for index, alpha in enumerate(alphas):
-        rows.append(run_point(alpha, replace(config, seed=seed + index)))
-    return rows
+    sweep = run_sweep(spec(alphas, seed=seed, duration=duration), jobs=jobs)
+    return [
+        _row(point.params["alpha"], result) for point, result in sweep.pairs()
+    ]
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

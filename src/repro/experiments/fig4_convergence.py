@@ -17,14 +17,15 @@ from __future__ import annotations
 
 from repro.core.strategies import Strategy
 from repro.experiments.config import ColumnConfig
-from repro.experiments.runner import ColumnResult, run_column
+from repro.experiments.runner import ColumnResult
+from repro.experiments.sweep import SweepPoint, SweepSpec, run_sweep
 from repro.workloads.synthetic import (
     PerfectClusterWorkload,
     PhaseSwitchWorkload,
     UniformWorkload,
 )
 
-__all__ = ["SWITCH_TIME", "run", "run_result", "phase_summaries"]
+__all__ = ["SWITCH_TIME", "run", "run_result", "phase_summaries", "spec"]
 
 #: The paper switches the workload at t = 58 s.
 SWITCH_TIME = 58.0
@@ -48,18 +49,49 @@ def make_config(seed: int = 4, duration: float = 160.0) -> ColumnConfig:
     )
 
 
-def run_result(
+def spec(
     *, seed: int = 4, duration: float = 160.0, switch_time: float = SWITCH_TIME
+) -> SweepSpec:
+    """Figure 4 is a single timeline, i.e. a one-point sweep."""
+    return SweepSpec(
+        name="fig4",
+        description="convergence after sudden cluster formation (§V-A)",
+        root_seed=seed,
+        points=[
+            SweepPoint(
+                label="timeline",
+                config=make_config(seed=seed, duration=duration),
+                workload=make_workload(switch_time=switch_time),
+                params={"switch_time": switch_time},
+            )
+        ],
+    )
+
+
+def run_result(
+    *,
+    seed: int = 4,
+    duration: float = 160.0,
+    switch_time: float = SWITCH_TIME,
+    jobs: int | None = 1,
 ) -> ColumnResult:
-    workload = make_workload(switch_time=switch_time)
-    return run_column(make_config(seed=seed, duration=duration), workload)
+    sweep = run_sweep(
+        spec(seed=seed, duration=duration, switch_time=switch_time), jobs=jobs
+    )
+    return sweep.results[0]
 
 
 def run(
-    *, seed: int = 4, duration: float = 160.0, switch_time: float = SWITCH_TIME
+    *,
+    seed: int = 4,
+    duration: float = 160.0,
+    switch_time: float = SWITCH_TIME,
+    jobs: int | None = 1,
 ) -> list[dict[str, float]]:
     """Per-second rows: time, consistent, inconsistent, aborted [txn/s]."""
-    result = run_result(seed=seed, duration=duration, switch_time=switch_time)
+    result = run_result(
+        seed=seed, duration=duration, switch_time=switch_time, jobs=jobs
+    )
     return [
         {
             "time": row["time"],

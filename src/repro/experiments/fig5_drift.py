@@ -16,10 +16,11 @@ from __future__ import annotations
 
 from repro.core.strategies import Strategy
 from repro.experiments.config import ColumnConfig
-from repro.experiments.runner import ColumnResult, run_column
+from repro.experiments.runner import ColumnResult
+from repro.experiments.sweep import SweepPoint, SweepSpec, run_sweep
 from repro.workloads.synthetic import DriftingClusterWorkload
 
-__all__ = ["run", "run_result", "shift_spike_profile"]
+__all__ = ["run", "run_result", "shift_spike_profile", "spec"]
 
 
 def make_config(seed: int = 5, duration: float = 800.0, window: float = 5.0) -> ColumnConfig:
@@ -33,6 +34,34 @@ def make_config(seed: int = 5, duration: float = 800.0, window: float = 5.0) -> 
     )
 
 
+def spec(
+    *,
+    seed: int = 5,
+    duration: float = 800.0,
+    shift_interval: float = 180.0,
+    n_objects: int = 2000,
+    window: float = 5.0,
+) -> SweepSpec:
+    """Figure 5 is a single drifting timeline, i.e. a one-point sweep."""
+    return SweepSpec(
+        name="fig5",
+        description="drifting clusters: spikes that reconverge (§V-A)",
+        root_seed=seed,
+        points=[
+            SweepPoint(
+                label="timeline",
+                config=make_config(seed=seed, duration=duration, window=window),
+                workload=DriftingClusterWorkload(
+                    n_objects=n_objects,
+                    cluster_size=5,
+                    shift_interval=shift_interval,
+                ),
+                params={"shift_interval": shift_interval, "n_objects": n_objects},
+            )
+        ],
+    )
+
+
 def run_result(
     *,
     seed: int = 5,
@@ -40,12 +69,19 @@ def run_result(
     shift_interval: float = 180.0,
     n_objects: int = 2000,
     window: float = 5.0,
+    jobs: int | None = 1,
 ) -> ColumnResult:
-    workload = DriftingClusterWorkload(
-        n_objects=n_objects, cluster_size=5, shift_interval=shift_interval
+    sweep = run_sweep(
+        spec(
+            seed=seed,
+            duration=duration,
+            shift_interval=shift_interval,
+            n_objects=n_objects,
+            window=window,
+        ),
+        jobs=jobs,
     )
-    config = make_config(seed=seed, duration=duration, window=window)
-    return run_column(config, workload)
+    return sweep.results[0]
 
 
 def run(
@@ -55,6 +91,7 @@ def run(
     shift_interval: float = 180.0,
     n_objects: int = 2000,
     window: float = 5.0,
+    jobs: int | None = 1,
 ) -> list[dict[str, float]]:
     """Rows of (window start, inconsistency ratio %) — the Fig. 5 series."""
     result = run_result(
@@ -63,6 +100,7 @@ def run(
         shift_interval=shift_interval,
         n_objects=n_objects,
         window=window,
+        jobs=jobs,
     )
     return [
         {

@@ -18,22 +18,38 @@ from dataclasses import replace
 
 from repro.core.strategies import Strategy
 from repro.experiments.config import ColumnConfig
-from repro.experiments.runner import run_column
+from repro.experiments.runner import ColumnResult, run_column
+from repro.experiments.sweep import SweepPoint, SweepSpec, run_sweep
 from repro.workloads.synthetic import ParetoClusterWorkload
 
-__all__ = ["run", "run_strategy"]
+__all__ = ["run", "run_strategy", "spec"]
 
 
 def make_config(seed: int = 6, duration: float = 30.0) -> ColumnConfig:
     return ColumnConfig(seed=seed, duration=duration, warmup=5.0, deplist_max=5)
 
 
-def run_strategy(
-    strategy: Strategy, config: ColumnConfig | None = None
-) -> dict[str, object]:
-    config = replace(config or make_config(), strategy=strategy)
+def spec(*, seed: int = 6, duration: float = 30.0) -> SweepSpec:
+    """One column per strategy — same workload and seed for comparability."""
+    config = make_config(seed=seed, duration=duration)
     workload = ParetoClusterWorkload(n_objects=2000, cluster_size=5, alpha=1.0)
-    result = run_column(config, workload)
+    return SweepSpec(
+        name="fig6",
+        description="ABORT vs EVICT vs RETRY, synthetic alpha=1 (§V-A)",
+        root_seed=seed,
+        points=[
+            SweepPoint(
+                label=strategy.name,
+                config=replace(config, strategy=strategy),
+                workload=workload,
+                params={"strategy": strategy.name},
+            )
+            for strategy in Strategy
+        ],
+    )
+
+
+def _row(strategy: Strategy, result: ColumnResult) -> dict[str, object]:
     shares = result.class_shares()
     return {
         "strategy": strategy.name,
@@ -47,12 +63,21 @@ def run_strategy(
     }
 
 
-def run(*, seed: int = 6, duration: float = 30.0) -> list[dict[str, object]]:
+def run_strategy(
+    strategy: Strategy, config: ColumnConfig | None = None
+) -> dict[str, object]:
+    config = replace(config or make_config(), strategy=strategy)
+    workload = ParetoClusterWorkload(n_objects=2000, cluster_size=5, alpha=1.0)
+    return _row(strategy, run_column(config, workload))
+
+
+def run(
+    *, seed: int = 6, duration: float = 30.0, jobs: int | None = 1
+) -> list[dict[str, object]]:
     """One row per strategy, same workload and seed for comparability."""
-    config = make_config(seed=seed, duration=duration)
+    sweep = run_sweep(spec(seed=seed, duration=duration), jobs=jobs)
     return [
-        run_strategy(strategy, config)
-        for strategy in (Strategy.ABORT, Strategy.EVICT, Strategy.RETRY)
+        _row(Strategy[point.label], result) for point, result in sweep.pairs()
     ]
 
 

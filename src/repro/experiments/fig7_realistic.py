@@ -26,9 +26,16 @@ from dataclasses import replace
 from repro.core.strategies import Strategy
 from repro.experiments.config import CacheKind, ColumnConfig
 from repro.experiments.realistic import WORKLOAD_NAMES, realistic_workload
-from repro.experiments.runner import run_column
+from repro.experiments.sweep import SweepPoint, SweepSpec, SweepResult, run_sweep
 
-__all__ = ["DEFAULT_DEPLIST_SIZES", "DEFAULT_TTLS", "run_deplist_sweep", "run_ttl_sweep"]
+__all__ = [
+    "DEFAULT_DEPLIST_SIZES",
+    "DEFAULT_TTLS",
+    "deplist_spec",
+    "run_deplist_sweep",
+    "run_ttl_sweep",
+    "ttl_spec",
+]
 
 #: Panel (c) x-axis: dependency list bounds 0 (baseline) through 5.
 DEFAULT_DEPLIST_SIZES: tuple[int, ...] = (0, 1, 2, 3, 4, 5)
@@ -51,38 +58,130 @@ def make_config(seed: int = 7, duration: float = 30.0) -> ColumnConfig:
     )
 
 
+def deplist_spec(
+    sizes: tuple[int, ...] = DEFAULT_DEPLIST_SIZES,
+    *,
+    seed: int = 7,
+    duration: float = 30.0,
+    workloads: tuple[str, ...] = WORKLOAD_NAMES,
+) -> SweepSpec:
+    """Panel (c) grid: one column per (workload, dependency list size)."""
+    config = make_config(seed=seed, duration=duration)
+    points = []
+    for name in workloads:
+        workload = realistic_workload(name, seed=seed)
+        for size in sizes:
+            points.append(
+                SweepPoint(
+                    label=f"{name}:k={size}",
+                    config=replace(config, deplist_max=size),
+                    workload=workload,
+                    params={"workload": name, "deplist_max": size},
+                )
+            )
+    return SweepSpec(
+        name="fig7c",
+        description="dependency-list sweep on realistic workloads (§V-B2)",
+        root_seed=seed,
+        points=points,
+    )
+
+
+def _deplist_rows(sweep: SweepResult) -> list[dict[str, object]]:
+    """Normalise each workload's columns against its k=0 baseline, in order."""
+    rows: list[dict[str, object]] = []
+    baseline_rate: float | None = None
+    baseline_ratio: float | None = None
+    for point, result in sweep.pairs():
+        rate = result.db_access_rate
+        ratio = result.inconsistency_ratio
+        if point.params["deplist_max"] == 0:
+            baseline_rate = rate or 1.0
+            baseline_ratio = ratio or 1.0
+        rows.append(
+            {
+                "workload": point.params["workload"],
+                "deplist_max": point.params["deplist_max"],
+                "inconsistency_ratio_pct": 100.0 * ratio,
+                "vs_baseline_pct": 100.0 * ratio / baseline_ratio,
+                "hit_ratio": result.hit_ratio,
+                "db_rate_normed_pct": 100.0 * rate / baseline_rate,
+                "abort_ratio_pct": 100.0 * result.abort_ratio,
+            }
+        )
+    return rows
+
+
 def run_deplist_sweep(
     sizes: tuple[int, ...] = DEFAULT_DEPLIST_SIZES,
     *,
     seed: int = 7,
     duration: float = 30.0,
     workloads: tuple[str, ...] = WORKLOAD_NAMES,
+    jobs: int | None = 1,
 ) -> list[dict[str, object]]:
     """Panel (c): one row per (workload, dependency list size)."""
-    rows: list[dict[str, object]] = []
+    sweep = run_sweep(
+        deplist_spec(sizes, seed=seed, duration=duration, workloads=workloads),
+        jobs=jobs,
+    )
+    return _deplist_rows(sweep)
+
+
+def ttl_spec(
+    ttls: tuple[float | None, ...] = DEFAULT_TTLS,
+    *,
+    seed: int = 7,
+    duration: float = 30.0,
+    workloads: tuple[str, ...] = WORKLOAD_NAMES,
+) -> SweepSpec:
+    """Panel (d) grid: one column per (workload, TTL), TTL=None baseline."""
     config = make_config(seed=seed, duration=duration)
+    points = []
     for name in workloads:
         workload = realistic_workload(name, seed=seed)
-        baseline_rate: float | None = None
-        baseline_ratio: float | None = None
-        for size in sizes:
-            result = run_column(replace(config, deplist_max=size), workload)
-            rate = result.db_access_rate
-            ratio = result.inconsistency_ratio
-            if size == 0:
-                baseline_rate = rate or 1.0
-                baseline_ratio = ratio or 1.0
-            rows.append(
-                {
-                    "workload": name,
-                    "deplist_max": size,
-                    "inconsistency_ratio_pct": 100.0 * ratio,
-                    "vs_baseline_pct": 100.0 * ratio / baseline_ratio,
-                    "hit_ratio": result.hit_ratio,
-                    "db_rate_normed_pct": 100.0 * rate / baseline_rate,
-                    "abort_ratio_pct": 100.0 * result.abort_ratio,
-                }
+        for ttl in ttls:
+            if ttl is None:
+                point = replace(config, cache_kind=CacheKind.PLAIN)
+            else:
+                point = replace(config, cache_kind=CacheKind.TTL, ttl=ttl)
+            points.append(
+                SweepPoint(
+                    label=f"{name}:ttl={'inf' if ttl is None else ttl}",
+                    config=point,
+                    workload=workload,
+                    params={"workload": name, "ttl": ttl},
+                )
             )
+    return SweepSpec(
+        name="fig7d",
+        description="TTL sweep of the consistency-unaware baseline (§V-B2)",
+        root_seed=seed,
+        points=points,
+    )
+
+
+def _ttl_rows(sweep: SweepResult) -> list[dict[str, object]]:
+    rows: list[dict[str, object]] = []
+    baseline_rate: float | None = None
+    baseline_ratio: float | None = None
+    for point, result in sweep.pairs():
+        ttl = point.params["ttl"]
+        rate = result.db_access_rate
+        ratio = result.inconsistency_ratio
+        if ttl is None:
+            baseline_rate = rate or 1.0
+            baseline_ratio = ratio or 1.0
+        rows.append(
+            {
+                "workload": point.params["workload"],
+                "ttl": "inf" if ttl is None else ttl,
+                "inconsistency_ratio_pct": 100.0 * ratio,
+                "vs_baseline_pct": 100.0 * ratio / baseline_ratio,
+                "hit_ratio": result.hit_ratio,
+                "db_rate_normed_pct": 100.0 * rate / baseline_rate,
+            }
+        )
     return rows
 
 
@@ -92,36 +191,14 @@ def run_ttl_sweep(
     seed: int = 7,
     duration: float = 30.0,
     workloads: tuple[str, ...] = WORKLOAD_NAMES,
+    jobs: int | None = 1,
 ) -> list[dict[str, object]]:
     """Panel (d): one row per (workload, TTL), baseline TTL=None first."""
-    rows: list[dict[str, object]] = []
-    config = make_config(seed=seed, duration=duration)
-    for name in workloads:
-        workload = realistic_workload(name, seed=seed)
-        baseline_rate: float | None = None
-        baseline_ratio: float | None = None
-        for ttl in ttls:
-            if ttl is None:
-                point = replace(config, cache_kind=CacheKind.PLAIN)
-            else:
-                point = replace(config, cache_kind=CacheKind.TTL, ttl=ttl)
-            result = run_column(point, workload)
-            rate = result.db_access_rate
-            ratio = result.inconsistency_ratio
-            if ttl is None:
-                baseline_rate = rate or 1.0
-                baseline_ratio = ratio or 1.0
-            rows.append(
-                {
-                    "workload": name,
-                    "ttl": "inf" if ttl is None else ttl,
-                    "inconsistency_ratio_pct": 100.0 * ratio,
-                    "vs_baseline_pct": 100.0 * ratio / baseline_ratio,
-                    "hit_ratio": result.hit_ratio,
-                    "db_rate_normed_pct": 100.0 * rate / baseline_rate,
-                }
-            )
-    return rows
+    sweep = run_sweep(
+        ttl_spec(ttls, seed=seed, duration=duration, workloads=workloads),
+        jobs=jobs,
+    )
+    return _ttl_rows(sweep)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

@@ -16,13 +16,41 @@ from dataclasses import replace
 from repro.core.strategies import Strategy
 from repro.experiments.config import ColumnConfig
 from repro.experiments.realistic import WORKLOAD_NAMES, realistic_workload
-from repro.experiments.runner import run_column
+from repro.experiments.sweep import SweepPoint, SweepSpec, run_sweep
 
-__all__ = ["run"]
+__all__ = ["run", "spec"]
 
 
 def make_config(seed: int = 8, duration: float = 30.0) -> ColumnConfig:
     return ColumnConfig(seed=seed, duration=duration, warmup=5.0, deplist_max=3)
+
+
+def spec(
+    *,
+    seed: int = 8,
+    duration: float = 30.0,
+    workloads: tuple[str, ...] = WORKLOAD_NAMES,
+) -> SweepSpec:
+    """Fig. 8's six bars: one column per (workload, strategy)."""
+    config = make_config(seed=seed, duration=duration)
+    points = []
+    for name in workloads:
+        workload = realistic_workload(name, seed=seed)
+        for strategy in Strategy:
+            points.append(
+                SweepPoint(
+                    label=f"{name}:{strategy.name}",
+                    config=replace(config, strategy=strategy),
+                    workload=workload,
+                    params={"workload": name, "strategy": strategy.name},
+                )
+            )
+    return SweepSpec(
+        name="fig8",
+        description="ABORT vs EVICT vs RETRY on realistic workloads (§V-B2)",
+        root_seed=seed,
+        points=points,
+    )
 
 
 def run(
@@ -30,26 +58,26 @@ def run(
     seed: int = 8,
     duration: float = 30.0,
     workloads: tuple[str, ...] = WORKLOAD_NAMES,
+    jobs: int | None = 1,
 ) -> list[dict[str, object]]:
     """One row per (workload, strategy), Fig. 8's six bars."""
+    sweep = run_sweep(
+        spec(seed=seed, duration=duration, workloads=workloads), jobs=jobs
+    )
     rows: list[dict[str, object]] = []
-    config = make_config(seed=seed, duration=duration)
-    for name in workloads:
-        workload = realistic_workload(name, seed=seed)
-        for strategy in (Strategy.ABORT, Strategy.EVICT, Strategy.RETRY):
-            result = run_column(replace(config, strategy=strategy), workload)
-            shares = result.class_shares()
-            rows.append(
-                {
-                    "workload": name,
-                    "strategy": strategy.name,
-                    "consistent_pct": 100.0 * shares["consistent"],
-                    "inconsistent_pct": 100.0 * shares["inconsistent"],
-                    "aborted_pct": 100.0
-                    * (shares["aborted_necessary"] + shares["aborted_unnecessary"]),
-                    "detection_ratio_pct": 100.0 * result.detection_ratio,
-                }
-            )
+    for point, result in sweep.pairs():
+        shares = result.class_shares()
+        rows.append(
+            {
+                "workload": point.params["workload"],
+                "strategy": point.params["strategy"],
+                "consistent_pct": 100.0 * shares["consistent"],
+                "inconsistent_pct": 100.0 * shares["inconsistent"],
+                "aborted_pct": 100.0
+                * (shares["aborted_necessary"] + shares["aborted_unnecessary"]),
+                "detection_ratio_pct": 100.0 * result.detection_ratio,
+            }
+        )
     return rows
 
 

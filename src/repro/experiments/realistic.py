@@ -21,6 +21,7 @@ __all__ = [
     "AMAZON",
     "ORKUT",
     "WORKLOAD_NAMES",
+    "run",
     "sampled_topology",
     "realistic_workload",
     "topology_rows",
@@ -69,3 +70,15 @@ def topology_rows(
         row.update(topology_stats(graph).as_row())
         rows.append(row)
     return rows
+
+
+def run(
+    *, sample_nodes: int = SAMPLE_NODES, seed: int = 1, jobs: int | None = 1
+) -> list[dict[str, object]]:
+    """Uniform ``run()`` entry point matching the figure modules.
+
+    Fig. 7(a)/(b) is pure graph analysis — there are no simulation columns
+    to fan out, so ``jobs`` is accepted for CLI symmetry and ignored.
+    """
+    del jobs
+    return topology_rows(sample_nodes=sample_nodes, seed=seed)

@@ -1,15 +1,29 @@
-"""Plain-text rendering of experiment results.
+"""Plain-text and JSON rendering of experiment results.
 
 The benchmarks and examples print the same rows the paper's figures plot;
 this module renders them as aligned tables so runs are readable in CI logs
-and terminal sessions.
+and terminal sessions, and serialises them as JSON artifacts so CI and the
+benchmark harness can consume machine-readable results.
 """
 
 from __future__ import annotations
 
+import json
+from dataclasses import asdict, is_dataclass
+from enum import Enum
 from typing import Iterable, Mapping, Sequence
 
-__all__ = ["format_table", "format_percent", "print_table"]
+__all__ = [
+    "experiment_payload",
+    "format_percent",
+    "format_table",
+    "json_safe",
+    "print_table",
+    "write_json",
+]
+
+#: Version tag of the ``--json`` artifact layout.
+ARTIFACT_SCHEMA = "repro.experiments/v1"
 
 
 def format_percent(value: float, digits: int = 1) -> str:
@@ -70,3 +84,58 @@ def print_table(
 def merge_series(series: Iterable[Mapping[str, float]], keys: Sequence[str]):
     """Project a time series onto selected keys (utility for examples)."""
     return [{key: row.get(key, 0.0) for key in keys} for row in series]
+
+
+def experiment_payload(
+    experiment: str,
+    sections: Sequence[Mapping[str, object]],
+    *,
+    wall_clock_seconds: float,
+    sweep_specs: Sequence[Mapping[str, object]] = (),
+) -> dict[str, object]:
+    """One experiment's JSON record: its printed sections plus run metadata.
+
+    Each section is ``{"title": ..., "rows": [...]}`` — the same rows
+    :func:`print_table` renders, unsampled.  ``sweep_specs`` carries the
+    per-column configs of the grids that produced the rows (see
+    :func:`repro.experiments.sweep.spec_artifact`), so an artifact is enough
+    to re-run any column.
+    """
+    return {
+        "experiment": experiment,
+        "wall_clock_seconds": wall_clock_seconds,
+        "sweep_specs": list(sweep_specs),
+        "sections": [
+            {"title": section["title"], "rows": section["rows"]}
+            for section in sections
+        ],
+    }
+
+
+def json_safe(value: object) -> object:
+    """Recursively coerce a payload to JSON-serialisable types.
+
+    Enums serialise by name, dataclasses by field dict; containers recurse.
+    Anything already serialisable passes through unchanged.
+    """
+    if isinstance(value, Enum):
+        return value.name
+    if is_dataclass(value) and not isinstance(value, type):
+        return json_safe(asdict(value))
+    if isinstance(value, Mapping):
+        return {str(key): json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [json_safe(item) for item in value]
+    return value
+
+
+def _json_default(value: object) -> object:
+    coerced = json_safe(value)
+    return str(value) if coerced is value else coerced
+
+
+def write_json(path: str, payload: Mapping[str, object]) -> None:
+    """Write a JSON artifact; enums and other exotic cells degrade safely."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=_json_default)
+        handle.write("\n")

@@ -20,19 +20,54 @@ from dataclasses import replace
 
 from repro.core.strategies import Strategy
 from repro.experiments.config import ColumnConfig
-from repro.experiments.runner import run_column
+from repro.experiments.sweep import SweepPoint, SweepSpec, run_sweep
 from repro.workloads.synthetic import PerfectClusterWorkload
 
 __all__ = [
+    "cluster_size_vs_k_spec",
+    "loss_spec",
     "run_cluster_size_vs_k",
     "run_loss_sweep",
     "run_update_pressure_sweep",
+    "update_pressure_spec",
 ]
 
 
 def base_config(seed: int = 41, duration: float = 15.0) -> ColumnConfig:
     return ColumnConfig(
         seed=seed, duration=duration, warmup=5.0, strategy=Strategy.ABORT
+    )
+
+
+def cluster_size_vs_k_spec(
+    cluster_sizes: tuple[int, ...] = (3, 5, 8),
+    bounds: tuple[int, ...] = (1, 2, 4, 7, 10),
+    *,
+    seed: int = 41,
+    duration: float = 15.0,
+    n_objects: int = 1920,
+) -> SweepSpec:
+    """Grid over (cluster size, dependency-list bound)."""
+    config = base_config(seed=seed, duration=duration)
+    points = []
+    for cluster_size in cluster_sizes:
+        workload = PerfectClusterWorkload(
+            n_objects=n_objects, cluster_size=cluster_size, txn_size=cluster_size
+        )
+        for bound in bounds:
+            points.append(
+                SweepPoint(
+                    label=f"cluster={cluster_size}:k={bound}",
+                    config=replace(config, deplist_max=bound),
+                    workload=workload,
+                    params={"cluster_size": cluster_size, "deplist_max": bound},
+                )
+            )
+    return SweepSpec(
+        name="sensitivity-cluster-vs-k",
+        description="detection saturation once k >= cluster_size - 1 (§III)",
+        root_seed=seed,
+        points=points,
     )
 
 
@@ -43,32 +78,69 @@ def run_cluster_size_vs_k(
     seed: int = 41,
     duration: float = 15.0,
     n_objects: int = 1920,
+    jobs: int | None = 1,
 ) -> list[dict[str, object]]:
     """Detection ratio across (cluster size, k) — the §III intuition.
 
     ``n_objects`` must be divisible by every cluster size; 1920 covers
     3, 5 and 8.
     """
-    rows: list[dict[str, object]] = []
+    sweep = run_sweep(
+        cluster_size_vs_k_spec(
+            cluster_sizes,
+            bounds,
+            seed=seed,
+            duration=duration,
+            n_objects=n_objects,
+        ),
+        jobs=jobs,
+    )
+    return [
+        {
+            "cluster_size": point.params["cluster_size"],
+            "deplist_max": point.params["deplist_max"],
+            "detection_pct": round(100.0 * result.detection_ratio, 1),
+            "inconsistency_pct": round(100.0 * result.inconsistency_ratio, 2),
+            "saturated": point.params["deplist_max"]
+            >= point.params["cluster_size"] - 1,
+        }
+        for point, result in sweep.pairs()
+    ]
+
+
+def loss_spec(
+    loss_rates: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.4, 0.8),
+    *,
+    seed: int = 43,
+    duration: float = 15.0,
+) -> SweepSpec:
+    """Paired columns per loss rate: T-Cache (k=5) and the blind baseline."""
+    workload = PerfectClusterWorkload(n_objects=1000, cluster_size=5)
     config = base_config(seed=seed, duration=duration)
-    for cluster_size in cluster_sizes:
-        workload = PerfectClusterWorkload(
-            n_objects=n_objects, cluster_size=cluster_size, txn_size=cluster_size
-        )
-        for bound in bounds:
-            result = run_column(replace(config, deplist_max=bound), workload)
-            rows.append(
-                {
-                    "cluster_size": cluster_size,
-                    "deplist_max": bound,
-                    "detection_pct": round(100.0 * result.detection_ratio, 1),
-                    "inconsistency_pct": round(
-                        100.0 * result.inconsistency_ratio, 2
-                    ),
-                    "saturated": bound >= cluster_size - 1,
-                }
+    points = []
+    for loss in loss_rates:
+        points.append(
+            SweepPoint(
+                label=f"loss={loss:g}:tcache",
+                config=replace(config, invalidation_loss=loss, deplist_max=5),
+                workload=workload,
+                params={"loss": loss, "variant": "tcache"},
             )
-    return rows
+        )
+        points.append(
+            SweepPoint(
+                label=f"loss={loss:g}:baseline",
+                config=replace(config, invalidation_loss=loss, deplist_max=0),
+                workload=workload,
+                params={"loss": loss, "variant": "baseline"},
+            )
+        )
+    return SweepSpec(
+        name="sensitivity-loss",
+        description="inconsistency vs invalidation loss rate",
+        root_seed=seed,
+        points=points,
+    )
 
 
 def run_loss_sweep(
@@ -76,18 +148,14 @@ def run_loss_sweep(
     *,
     seed: int = 43,
     duration: float = 15.0,
+    jobs: int | None = 1,
 ) -> list[dict[str, object]]:
     """Inconsistency pressure as a function of invalidation loss."""
+    sweep = run_sweep(loss_spec(loss_rates, seed=seed, duration=duration), jobs=jobs)
     rows: list[dict[str, object]] = []
-    workload = PerfectClusterWorkload(n_objects=1000, cluster_size=5)
-    config = base_config(seed=seed, duration=duration)
     for loss in loss_rates:
-        detected = run_column(
-            replace(config, invalidation_loss=loss, deplist_max=5), workload
-        )
-        blind = run_column(
-            replace(config, invalidation_loss=loss, deplist_max=0), workload
-        )
+        detected = sweep.result_for(f"loss={loss:g}:tcache")
+        blind = sweep.result_for(f"loss={loss:g}:baseline")
         rows.append(
             {
                 "loss_pct": round(100.0 * loss, 1),
@@ -103,30 +171,52 @@ def run_loss_sweep(
     return rows
 
 
+def update_pressure_spec(
+    update_rates: tuple[float, ...] = (25.0, 50.0, 100.0, 200.0, 400.0),
+    *,
+    seed: int = 47,
+    duration: float = 15.0,
+) -> SweepSpec:
+    """One column per update rate, read rate fixed at the paper's 500/s."""
+    workload = PerfectClusterWorkload(n_objects=1000, cluster_size=5)
+    config = base_config(seed=seed, duration=duration)
+    return SweepSpec(
+        name="sensitivity-update-pressure",
+        description="inconsistency vs update rate at fixed read rate",
+        root_seed=seed,
+        points=[
+            SweepPoint(
+                label=f"rate={rate:g}",
+                config=replace(config, update_rate=rate, deplist_max=5),
+                workload=workload,
+                params={"update_rate": rate},
+            )
+            for rate in update_rates
+        ],
+    )
+
+
 def run_update_pressure_sweep(
     update_rates: tuple[float, ...] = (25.0, 50.0, 100.0, 200.0, 400.0),
     *,
     seed: int = 47,
     duration: float = 15.0,
+    jobs: int | None = 1,
 ) -> list[dict[str, object]]:
     """Inconsistency pressure as a function of update rate (reads fixed)."""
-    rows: list[dict[str, object]] = []
-    workload = PerfectClusterWorkload(n_objects=1000, cluster_size=5)
-    config = base_config(seed=seed, duration=duration)
-    for rate in update_rates:
-        result = run_column(
-            replace(config, update_rate=rate, deplist_max=5), workload
-        )
-        rows.append(
-            {
-                "update_rate": rate,
-                "abort_ratio_pct": round(100.0 * result.abort_ratio, 2),
-                "inconsistency_pct": round(100.0 * result.inconsistency_ratio, 2),
-                "detection_pct": round(100.0 * result.detection_ratio, 1),
-                "hit_ratio": round(result.hit_ratio, 3),
-            }
-        )
-    return rows
+    sweep = run_sweep(
+        update_pressure_spec(update_rates, seed=seed, duration=duration), jobs=jobs
+    )
+    return [
+        {
+            "update_rate": point.params["update_rate"],
+            "abort_ratio_pct": round(100.0 * result.abort_ratio, 2),
+            "inconsistency_pct": round(100.0 * result.inconsistency_ratio, 2),
+            "detection_pct": round(100.0 * result.detection_ratio, 1),
+            "hit_ratio": round(result.hit_ratio, 3),
+        }
+        for point, result in sweep.pairs()
+    ]
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

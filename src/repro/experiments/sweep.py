@@ -1,0 +1,194 @@
+"""Parallel sweep engine for the figure experiments.
+
+Every figure of the paper's evaluation is a grid of independent, seeded
+single-column simulations — embarrassingly parallel work that the figure
+modules used to run one at a time in hand-rolled loops.  This module gives
+them a shared, declarative substrate:
+
+* :class:`SweepPoint` — one column of a figure: a :class:`ColumnConfig`, the
+  workload(s) that drive it, a stable label and free-form ``params`` that
+  downstream row-builders and JSON artifacts attach to the result.
+* :class:`SweepSpec` — a named, ordered grid of points with a root seed.
+  Specs are plain data; building one runs nothing.
+* :func:`run_sweep` — executes a spec either serially (``jobs=1``) or on a
+  ``multiprocessing`` pool (``jobs=N``, default ``os.cpu_count()``) and
+  returns a :class:`SweepResult` in *spec order* regardless of completion
+  order.  Each column is deterministic given its config and workload, so
+  serial and parallel execution produce identical results — the test suite
+  asserts byte-identical series for ``jobs=1`` vs ``jobs=4``.
+
+Seeding: :func:`derive_seed` is the canonical per-column derivation from a
+spec's root seed.  Sweeps that compare columns on the *same* randomness
+(e.g. the strategy bars of Figs. 6 and 8) intentionally share one seed
+across their points instead; the spec builder decides.
+
+Only the ``(config, workload, read_workload)`` triple travels to worker
+processes, so row-building callables in the figure modules may freely be
+closures.  Workloads are stateless with respect to the per-column RNG
+streams (the clients pass their own generators in), which is what makes the
+fan-out safe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ColumnConfig
+from repro.experiments.report import json_safe
+from repro.experiments.runner import ColumnResult, run_column
+from repro.workloads.base import Workload
+
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
+    "config_as_dict",
+    "derive_seed",
+    "resolve_jobs",
+    "run_sweep",
+    "spec_artifact",
+]
+
+
+def derive_seed(root_seed: int, index: int) -> int:
+    """Deterministic seed for the ``index``-th column of a sweep."""
+    if index < 0:
+        raise ConfigurationError(f"column index must be >= 0, got {index}")
+    return root_seed + index
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``--jobs`` value: ``None`` means every available CPU."""
+    if jobs is None:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+@dataclass(slots=True)
+class SweepPoint:
+    """One independent column of a figure's grid."""
+
+    label: str
+    config: ColumnConfig
+    workload: Workload
+    read_workload: Workload | None = None
+    #: Sweep coordinates (e.g. ``{"alpha": 0.5}``) echoed into rows/artifacts.
+    params: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class SweepSpec:
+    """A named grid of sweep points. Building a spec runs nothing."""
+
+    name: str
+    points: list[SweepPoint]
+    root_seed: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        labels = [point.label for point in self.points]
+        if len(set(labels)) != len(labels):
+            duplicates = sorted({l for l in labels if labels.count(l) > 1})
+            raise ConfigurationError(
+                f"sweep {self.name!r} has duplicate point labels: {duplicates}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """Results of one executed spec, in spec order."""
+
+    spec: SweepSpec
+    results: list[ColumnResult]
+    jobs: int
+    wall_clock_seconds: float
+
+    def pairs(self) -> Iterator[tuple[SweepPoint, ColumnResult]]:
+        return zip(self.spec.points, self.results)
+
+    def result_for(self, label: str) -> ColumnResult:
+        for point, result in self.pairs():
+            if point.label == label:
+                return result
+        raise KeyError(f"no sweep point labelled {label!r} in {self.spec.name!r}")
+
+    def to_artifact(self) -> dict[str, object]:
+        """JSON-safe record of the run: config + series + wall-clock metadata."""
+        payload = spec_artifact(self.spec)
+        payload["jobs"] = self.jobs
+        payload["wall_clock_seconds"] = self.wall_clock_seconds
+        for column, result in zip(payload["columns"], self.results):
+            column["series"] = result.series
+            column["counts"] = asdict(result.counts)
+        return payload
+
+
+def spec_artifact(spec: SweepSpec) -> dict[str, object]:
+    """JSON-safe description of a spec's grid — enough to re-run any column."""
+    return {
+        "spec": spec.name,
+        "description": spec.description,
+        "root_seed": spec.root_seed,
+        "columns": [
+            {
+                "label": point.label,
+                "params": json_safe(dict(point.params)),
+                "config": config_as_dict(point.config),
+            }
+            for point in spec.points
+        ],
+    }
+
+
+def config_as_dict(config: ColumnConfig) -> dict[str, object]:
+    """A :class:`ColumnConfig` as a JSON-serialisable dict (enums by name)."""
+    return json_safe(asdict(config))
+
+
+def _execute_point(
+    payload: tuple[ColumnConfig, Workload, Workload | None]
+) -> ColumnResult:
+    config, workload, read_workload = payload
+    return run_column(config, workload, read_workload=read_workload)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork inherits sys.path and the parent's built workloads/topology caches;
+    # spawn re-imports, which also works because PYTHONPATH propagates, but
+    # pays a per-worker import and (for realistic workloads) rebuild cost.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def run_sweep(spec: SweepSpec, *, jobs: int | None = None) -> SweepResult:
+    """Execute every point of ``spec`` and collect results in spec order.
+
+    ``jobs=1`` runs in-process (no pool, fully synchronous — the baseline
+    for determinism tests); ``jobs>1`` fans the columns across a process
+    pool, never spawning more workers than there are points.
+    """
+    jobs = resolve_jobs(jobs)
+    payloads = [
+        (point.config, point.workload, point.read_workload) for point in spec.points
+    ]
+    workers = min(jobs, len(payloads))
+    start = time.perf_counter()
+    if workers <= 1:
+        results = [_execute_point(payload) for payload in payloads]
+    else:
+        with _pool_context().Pool(processes=workers) as pool:
+            results = pool.map(_execute_point, payloads)
+    elapsed = time.perf_counter() - start
+    return SweepResult(
+        spec=spec, results=results, jobs=jobs, wall_clock_seconds=elapsed
+    )

@@ -18,10 +18,10 @@ from repro.core.deplist import UNBOUNDED
 from repro.core.strategies import Strategy
 from repro.experiments.config import ColumnConfig
 from repro.experiments.realistic import realistic_workload
-from repro.experiments.runner import run_column
+from repro.experiments.sweep import SweepPoint, SweepSpec, derive_seed, run_sweep
 from repro.workloads.synthetic import ParetoClusterWorkload, UniformWorkload
 
-__all__ = ["run"]
+__all__ = ["run", "spec"]
 
 
 def make_config(seed: int = 9, duration: float = 20.0) -> ColumnConfig:
@@ -44,22 +44,40 @@ def workloads(seed: int = 9) -> dict[str, object]:
     }
 
 
-def run(*, seed: int = 9, duration: float = 20.0) -> list[dict[str, object]]:
-    """One row per workload; ``inconsistent`` must be zero everywhere."""
-    rows = []
+def spec(*, seed: int = 9, duration: float = 20.0) -> SweepSpec:
+    """One unbounded-resource column per workload, independently seeded."""
     config = make_config(seed=seed, duration=duration)
-    for index, (name, workload) in enumerate(workloads(seed).items()):
-        result = run_column(replace(config, seed=seed + index), workload)
-        rows.append(
-            {
-                "workload": name,
-                "committed": result.counts.committed,
-                "inconsistent_commits": result.counts.inconsistent,
-                "aborted": result.counts.aborted,
-                "detection_ratio_pct": 100.0 * result.detection_ratio,
-            }
-        )
-    return rows
+    return SweepSpec(
+        name="theorem1",
+        description="unbounded T-Cache is cache-serializable (Theorem 1)",
+        root_seed=seed,
+        points=[
+            SweepPoint(
+                label=name,
+                config=replace(config, seed=derive_seed(seed, index)),
+                workload=workload,
+                params={"workload": name},
+            )
+            for index, (name, workload) in enumerate(workloads(seed).items())
+        ],
+    )
+
+
+def run(
+    *, seed: int = 9, duration: float = 20.0, jobs: int | None = 1
+) -> list[dict[str, object]]:
+    """One row per workload; ``inconsistent`` must be zero everywhere."""
+    sweep = run_sweep(spec(seed=seed, duration=duration), jobs=jobs)
+    return [
+        {
+            "workload": point.params["workload"],
+            "committed": result.counts.committed,
+            "inconsistent_commits": result.counts.inconsistent,
+            "aborted": result.counts.aborted,
+            "detection_ratio_pct": 100.0 * result.detection_ratio,
+        }
+        for point, result in sweep.pairs()
+    ]
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.experiments.__main__ import EXPERIMENTS, main
@@ -11,7 +13,7 @@ class TestCli:
     def test_experiment_registry_covers_every_figure(self) -> None:
         assert set(EXPERIMENTS) == {
             "fig3", "fig4", "fig5", "fig6", "fig7ab", "fig7c", "fig7d",
-            "fig8", "theorem1",
+            "fig8", "theorem1", "sensitivity",
         }
 
     def test_unknown_experiment_rejected(self, capsys) -> None:
@@ -29,3 +31,49 @@ class TestCli:
     def test_duration_flag_parsed(self, capsys) -> None:
         # fig7ab ignores duration but must accept the flag.
         assert main(["fig7ab", "--duration", "5"]) == 0
+
+    def test_jobs_flag_parsed(self, capsys) -> None:
+        assert main(["fig7ab", "--jobs", "2"]) == 0
+
+    @pytest.mark.parametrize("value", ["0", "-2", "many"])
+    def test_invalid_jobs_rejected_as_usage_error(self, value, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig7ab", "--jobs", value])
+        assert excinfo.value.code == 2
+
+    def test_json_artifact_written_and_loadable(self, tmp_path, capsys) -> None:
+        path = tmp_path / "fig7ab.json"
+        assert main(["fig7ab", "--json", str(path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["schema"] == "repro.experiments/v1"
+        assert payload["jobs"] >= 1
+        (experiment,) = payload["experiments"]
+        assert experiment["experiment"] == "fig7ab"
+        assert experiment["wall_clock_seconds"] >= 0.0
+        (section,) = experiment["sections"]
+        assert section["title"] == "Figure 7ab: topology statistics"
+        workloads = {row["workload"] for row in section["rows"]}
+        assert workloads == {"amazon", "orkut"}
+        # fig7ab is pure graph analysis: no simulation grid behind it.
+        assert experiment["sweep_specs"] == []
+
+    def test_json_artifact_embeds_sweep_configs(self, tmp_path) -> None:
+        path = tmp_path / "fig3.json"
+        assert main(["fig3", "--duration", "1", "--jobs", "2",
+                     "--json", str(path)]) == 0
+        with open(path) as handle:
+            payload = json.load(handle)
+        (experiment,) = payload["experiments"]
+        (spec,) = experiment["sweep_specs"]
+        assert spec["spec"] == "fig3"
+        assert len(spec["columns"]) == 8
+        first = spec["columns"][0]
+        assert first["params"]["alpha"] == pytest.approx(1 / 32)
+        assert first["config"]["seed"] == 11
+        assert first["config"]["strategy"] == "ABORT"
+        # Rows and spec columns line up one-to-one.
+        (section,) = experiment["sections"]
+        assert len(section["rows"]) == len(spec["columns"])

@@ -1,0 +1,131 @@
+"""Unit tests for the parallel sweep engine.
+
+The load-bearing property: a sweep's results are a pure function of its
+spec — the executor (serial or process pool) must never show through.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ColumnConfig
+from repro.experiments.sweep import (
+    SweepPoint,
+    SweepSpec,
+    config_as_dict,
+    derive_seed,
+    resolve_jobs,
+    run_sweep,
+)
+from repro.workloads.synthetic import PerfectClusterWorkload
+
+
+def tiny_spec(n_points: int = 3, duration: float = 1.0) -> SweepSpec:
+    workload = PerfectClusterWorkload(n_objects=100, cluster_size=5)
+    config = ColumnConfig(seed=1, duration=duration, warmup=0.5)
+    return SweepSpec(
+        name="tiny",
+        root_seed=1,
+        points=[
+            SweepPoint(
+                label=f"col{index}",
+                config=replace(config, seed=derive_seed(1, index)),
+                workload=workload,
+                params={"index": index},
+            )
+            for index in range(n_points)
+        ],
+    )
+
+
+class TestSpecValidation:
+    def test_duplicate_labels_rejected(self) -> None:
+        point = tiny_spec(1).points[0]
+        with pytest.raises(ConfigurationError):
+            SweepSpec(name="dup", points=[point, replace(point)])
+
+    def test_len_counts_points(self) -> None:
+        assert len(tiny_spec(3)) == 3
+
+    def test_derive_seed_is_deterministic_and_distinct(self) -> None:
+        seeds = [derive_seed(11, index) for index in range(8)]
+        assert seeds == [derive_seed(11, index) for index in range(8)]
+        assert len(set(seeds)) == 8
+
+    def test_derive_seed_rejects_negative_index(self) -> None:
+        with pytest.raises(ConfigurationError):
+            derive_seed(1, -1)
+
+
+class TestResolveJobs:
+    def test_none_means_all_cpus(self) -> None:
+        assert resolve_jobs(None) >= 1
+
+    def test_explicit_value_passes_through(self) -> None:
+        assert resolve_jobs(3) == 3
+
+    @pytest.mark.parametrize("jobs", [0, -1])
+    def test_non_positive_rejected(self, jobs) -> None:
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(jobs)
+
+
+class TestExecution:
+    def test_serial_results_in_spec_order(self) -> None:
+        sweep = run_sweep(tiny_spec(3), jobs=1)
+        assert [point.label for point, _ in sweep.pairs()] == [
+            "col0", "col1", "col2",
+        ]
+        assert len(sweep.results) == 3
+        assert sweep.jobs == 1
+        assert sweep.wall_clock_seconds > 0.0
+        for result in sweep.results:
+            assert result.counts.total > 0
+
+    def test_parallel_matches_serial_byte_for_byte(self) -> None:
+        spec = tiny_spec(3)
+        serial = run_sweep(spec, jobs=1)
+        parallel = run_sweep(tiny_spec(3), jobs=4)
+        for left, right in zip(serial.results, parallel.results):
+            assert json.dumps(left.series) == json.dumps(right.series)
+            assert left.counts == right.counts
+            assert left.cache_stats == right.cache_stats
+
+    def test_result_for_label(self) -> None:
+        sweep = run_sweep(tiny_spec(2), jobs=1)
+        assert sweep.result_for("col1") is sweep.results[1]
+        with pytest.raises(KeyError):
+            sweep.result_for("missing")
+
+    def test_empty_spec_runs_to_empty_result(self) -> None:
+        sweep = run_sweep(SweepSpec(name="empty", points=[]), jobs=4)
+        assert sweep.results == []
+
+
+class TestArtifacts:
+    def test_config_as_dict_is_json_safe(self) -> None:
+        payload = config_as_dict(ColumnConfig(seed=3, duration=2.0))
+        text = json.dumps(payload)
+        back = json.loads(text)
+        assert back["seed"] == 3
+        assert back["strategy"] == "ABORT"
+        assert back["cache_kind"] == "TCACHE"
+        assert isinstance(back["timing"], dict)
+
+    def test_artifact_round_trips_through_json(self) -> None:
+        sweep = run_sweep(tiny_spec(2), jobs=1)
+        artifact = sweep.to_artifact()
+        back = json.loads(json.dumps(artifact))
+        assert back["spec"] == "tiny"
+        assert back["jobs"] == 1
+        assert len(back["columns"]) == 2
+        column = back["columns"][0]
+        assert column["label"] == "col0"
+        assert column["params"] == {"index": 0}
+        assert column["config"]["seed"] == 1
+        assert isinstance(column["series"], list)
+        assert column["counts"]["consistent"] >= 0
