@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Geo-skewed edge fleet: the scenario API's headline use case.
+
+Three regional edge caches, each with its own hot key slice (disjoint from
+the other regions), occasionally reading a globally shared segment that a
+write-heavy origin edge keeps updating. Each region's invalidation channel
+degrades with distance — more loss, more latency — so the same shared data
+is more stale the farther the region sits from the origin.
+
+The single-column API could not express any of this: it had exactly one
+cache, one channel and one client population. With ``ScenarioSpec`` the
+topology is data, and ``run_scenario`` returns both per-edge results and
+fleet aggregates from one shared consistency monitor.
+
+Run:  python examples/geo_edges.py
+"""
+
+from repro import geo_skewed_scenario, run_scenario
+from repro.experiments.report import print_table
+
+
+def main() -> None:
+    spec = geo_skewed_scenario(
+        regions=3,
+        objects_per_region=600,
+        shared_objects=200,
+        remote_read_fraction=0.15,
+        duration=20.0,
+        warmup=5.0,
+    )
+    print(f"running scenario {spec.name!r}: {spec.description}")
+    print(f"  {len(spec)} edges, {spec.total_time:g}s simulated\n")
+
+    result = run_scenario(spec)
+
+    print_table(
+        [
+            {
+                "edge": edge_spec.name,
+                "loss": f"{edge_spec.invalidation_loss:.0%}",
+                "latency_ms": round(1000 * edge_spec.invalidation_latency_mean),
+                "read_txns": edge.counts.total,
+                "inconsistency": f"{edge.inconsistency_ratio:.2%}",
+                "detection": f"{edge.detection_ratio:.1%}",
+                "hit_ratio": f"{edge.hit_ratio:.1%}",
+                "db_reads_per_s": round(edge.db_access_rate, 1),
+            }
+            for edge_spec, edge in result.pairs()
+        ],
+        title="per-edge view (worse channels -> more staleness pressure)",
+    )
+
+    fleet = result.fleet
+    print()
+    print_table(
+        [
+            {
+                "read_txns": fleet.counts.total,
+                "inconsistency": f"{fleet.inconsistency_ratio:.2%}",
+                "detection": f"{fleet.detection_ratio:.1%}",
+                "hit_ratio": f"{fleet.hit_ratio:.1%}",
+                "backend_reads_per_s": round(fleet.backend_read_rate, 1),
+                "update_commits": fleet.update_commits,
+                "inconsistency_var": f"{fleet.inconsistency_variance:.2e}",
+            }
+        ],
+        title="fleet aggregates (one shared database + monitor)",
+    )
+    print()
+    print("The origin edge stays near-consistent while distant regions pay")
+    print("for their lossy channels; T-Cache's dependency checks catch the")
+    print("stale shared-segment reads that the regions would otherwise serve.")
+
+
+if __name__ == "__main__":
+    main()

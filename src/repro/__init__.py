@@ -17,6 +17,18 @@ Quickstart::
     result = run_column(config, workload)
     print(f"inconsistency ratio: {result.inconsistency_ratio:.2%}")
     print(f"detection ratio:     {result.detection_ratio:.2%}")
+
+Multi-edge topologies are first-class via the scenario API::
+
+    from repro import EdgeSpec, ScenarioSpec, run_scenario
+
+    spec = ScenarioSpec(name="two-regions", edges=[
+        EdgeSpec(name="eu", workload=workload, invalidation_loss=0.05),
+        EdgeSpec(name="ap", workload=workload, invalidation_loss=0.40),
+    ])
+    fleet = run_scenario(spec)
+    print(f"fleet inconsistency: {fleet.fleet.inconsistency_ratio:.2%}")
+    print(f"worst edge:          {fleet.edge('ap').inconsistency_ratio:.2%}")
 """
 
 from repro.cache.base import CacheServer, CacheStats, CacheStorage
@@ -37,6 +49,17 @@ from repro.errors import (
 from repro.experiments.config import CacheKind, ColumnConfig
 from repro.experiments.runner import ColumnResult, build_column, run_column
 from repro.monitor.monitor import ConsistencyMonitor
+from repro.scenario import (
+    EdgeSpec,
+    FleetAggregates,
+    ScenarioResult,
+    ScenarioSpec,
+    build_scenario,
+    flash_crowd_scenario,
+    geo_skewed_scenario,
+    heterogeneous_loss_fleet,
+    run_scenario,
+)
 from repro.monitor.sgt import SerializationGraphTester
 from repro.sim.core import Simulator
 from repro.sim.rng import BoundedPareto, RngStreams
@@ -52,7 +75,7 @@ from repro.workloads.synthetic import (
 )
 from repro.workloads.walker import RandomWalkWorkload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BoundedPareto",
@@ -69,6 +92,8 @@ __all__ = [
     "DepEntry",
     "DependencyList",
     "DriftingClusterWorkload",
+    "EdgeSpec",
+    "FleetAggregates",
     "InconsistencyDetected",
     "InconsistencyReport",
     "InvalidationRecord",
@@ -80,6 +105,8 @@ __all__ = [
     "ReadResult",
     "ReproError",
     "RngStreams",
+    "ScenarioResult",
+    "ScenarioSpec",
     "SerializationGraphTester",
     "Simulator",
     "Strategy",
@@ -92,9 +119,14 @@ __all__ = [
     "VersionedValue",
     "amazon_like_graph",
     "build_column",
+    "build_scenario",
     "check_read",
+    "flash_crowd_scenario",
+    "geo_skewed_scenario",
+    "heterogeneous_loss_fleet",
     "orkut_like_graph",
     "random_walk_sample",
     "run_column",
+    "run_scenario",
     "topology_stats",
 ]

@@ -1,0 +1,24 @@
+"""The cache-variant vocabulary shared by configs and scenario specs.
+
+Lives in the cache layer (not the experiment harness) so that both the
+legacy single-column :class:`~repro.experiments.config.ColumnConfig` and the
+multi-edge :class:`~repro.scenario.spec.EdgeSpec` can name a cache variant
+without importing each other.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["CacheKind"]
+
+
+class CacheKind(Enum):
+    """Which cache server fronts an edge."""
+
+    TCACHE = "tcache"
+    PLAIN = "plain"
+    TTL = "ttl"
+    #: §VI extension: T-Cache with per-object version history (TxCache-style
+    #: multiversioning) that serves older versions instead of aborting.
+    MULTIVERSION = "multiversion"

@@ -29,10 +29,20 @@ __all__ = ["ReadOnlyClient", "ReadClientStats"]
 
 @dataclass(slots=True)
 class ReadClientStats:
+    """Per-client counters over *logical* transactions.
+
+    ``launched`` counts each logical transaction once, however often it is
+    retried; ``attempts`` counts every try. ``committed``/``aborted`` are
+    final outcomes, so ``committed + aborted <= launched`` always holds
+    (strictly ``==`` once every in-flight transaction finished) and
+    ``attempts == launched + retried_transactions``.
+    """
+
     launched: int = 0
     committed: int = 0
     aborted: int = 0
     reads: int = 0
+    attempts: int = 0
     retried_transactions: int = 0
 
 
@@ -75,7 +85,9 @@ class ReadOnlyClient:
             self._sim.process(self._transaction(keys, attempt=0))
 
     def _transaction(self, keys: list, attempt: int):
-        self.stats.launched += 1
+        if attempt == 0:
+            self.stats.launched += 1
+        self.stats.attempts += 1
         txn_id = next(self._txn_ids)
         try:
             for position, key in enumerate(keys):
@@ -85,10 +97,11 @@ class ReadOnlyClient:
                 if not last_op and self._read_gap:
                     yield self._sim.timeout(self._read_gap)
         except TransactionAborted:
-            self.stats.aborted += 1
             if self._retry_aborted and attempt < self._max_retries:
                 self.stats.retried_transactions += 1
                 yield from self._transaction(keys, attempt + 1)
+            else:
+                self.stats.aborted += 1
             return
         self.stats.committed += 1
 

@@ -52,6 +52,7 @@ class MultiversionTCache(TCache):
         *,
         history_depth: int = 3,
         capacity: int | None = None,
+        deplist_limit: int | None = None,
         name: str = "mv-t-cache",
     ) -> None:
         if history_depth < 1:
@@ -59,7 +60,12 @@ class MultiversionTCache(TCache):
                 f"history_depth must be >= 1, got {history_depth}"
             )
         super().__init__(
-            sim, backend, strategy=Strategy.RETRY, capacity=capacity, name=name
+            sim,
+            backend,
+            strategy=Strategy.RETRY,
+            capacity=capacity,
+            deplist_limit=deplist_limit,
+            name=name,
         )
         self.history_depth = history_depth
         self._history: dict[Key, deque[VersionedValue]] = {}
@@ -117,7 +123,7 @@ class MultiversionTCache(TCache):
             for candidate in self.candidate_versions(entry.key):
                 if candidate.version >= entry.version:
                     continue
-                candidate_deps = DependencyList(candidate.deps)
+                candidate_deps = self._deps_of(candidate)
                 if check_read(context, candidate.key, candidate.version, candidate_deps) is None:
                     self.multiversion_serves += 1
                     context.record_read(

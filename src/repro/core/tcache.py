@@ -21,7 +21,7 @@ from repro.core.deplist import DependencyList
 from repro.core.detector import InconsistencyReport, check_equation1, check_read
 from repro.core.records import TransactionContext
 from repro.core.strategies import Strategy
-from repro.errors import InconsistencyDetected
+from repro.errors import ConfigurationError, InconsistencyDetected
 from repro.sim.core import Simulator
 from repro.types import (
     Key,
@@ -45,6 +45,10 @@ class TCache(CacheServer):
     * ``ttl`` — optional entry lifetime, usually ``None`` for T-Cache (the
       TTL baseline lives in :class:`~repro.cache.ttl.TTLCache`); the knob
       exists so hybrid configurations can be explored.
+    * ``deplist_limit`` — optional per-cache cap on how many shipped
+      dependency entries this cache *consults* (§VII: heterogeneous list
+      bounds across edges). The database's bound caps what is stored and
+      shipped; this caps what the edge checks. ``None`` consults everything.
     """
 
     def __init__(
@@ -55,10 +59,16 @@ class TCache(CacheServer):
         strategy: Strategy = Strategy.ABORT,
         ttl: float | None = None,
         capacity: int | None = None,
+        deplist_limit: int | None = None,
         name: str = "t-cache",
     ) -> None:
+        if deplist_limit is not None and deplist_limit < 0:
+            raise ConfigurationError(
+                f"deplist_limit must be >= 0 or None, got {deplist_limit}"
+            )
         super().__init__(sim, backend, ttl=ttl, capacity=capacity, name=name)
         self.strategy = strategy
+        self.deplist_limit = deplist_limit
         self._contexts: dict[TxnId, TransactionContext] = {}
         #: Violations detected, by equation, for the experiment reports.
         self.detections_eq1 = 0
@@ -81,7 +91,7 @@ class TCache(CacheServer):
             context = TransactionContext(txn_id=txn_id, start_time=self._sim.now)
             self._contexts[txn_id] = context
 
-        deps = DependencyList(entry.deps)
+        deps = self._deps_of(entry)
         report = check_read(context, entry.key, entry.version, deps)
         if report is None:
             context.record_read(entry.key, entry.version, deps)
@@ -103,7 +113,7 @@ class TCache(CacheServer):
             # RETRY, Equation 2: the cached copy of the object being read is
             # stale — treat the access as a miss and serve it fresh.
             fresh = self._read_through(entry.key)
-            fresh_deps = DependencyList(fresh.deps)
+            fresh_deps = self._deps_of(fresh)
             # The fresh copy can still prove an *earlier* read stale.
             followup = check_equation1(context, fresh.key, fresh_deps)
             if followup is None:
@@ -121,6 +131,17 @@ class TCache(CacheServer):
 
         self._abort_with(txn_id, record, entry.key, entry.version, report)
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def _deps_of(self, entry: VersionedValue) -> DependencyList:
+        """The dependency entries this cache consults for ``entry``.
+
+        With a ``deplist_limit`` only the first ``limit`` shipped entries
+        are checked — lists arrive most-relevant-first under the database's
+        pruning policy (most-recently-used first for the paper's LRU).
+        """
+        if self.deplist_limit is None:
+            return DependencyList(entry.deps)
+        return DependencyList(entry.deps[: self.deplist_limit])
 
     # ------------------------------------------------------------------
     # Strategy actions

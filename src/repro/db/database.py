@@ -23,7 +23,7 @@ from repro.errors import ConfigurationError
 from repro.sim.channel import Channel
 from repro.sim.core import Simulator
 from repro.sim.process import Process
-from repro.types import CommittedTransaction, Key, TxnId, Version, VersionedValue
+from repro.types import CommittedTransaction, Key, Version, VersionedValue
 
 __all__ = ["Database", "DatabaseConfig", "TimingConfig", "DatabaseStats"]
 
@@ -201,6 +201,12 @@ class Database:
     def _transaction_process(self, handle: TransactionHandle):
         try:
             outcome = yield from self.coordinator.run_transaction(handle)
+        except GeneratorExit:
+            # The process generator is being reaped (simulation ended with
+            # the transaction in flight and the interpreter collected it) —
+            # that is teardown, not an abort, and counting it would mutate
+            # the stats object after results were already collected.
+            raise
         except BaseException:
             self.stats.aborted += 1
             raise

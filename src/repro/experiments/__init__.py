@@ -10,7 +10,10 @@ per evaluation figure.
 * :mod:`repro.experiments.theorem1` — the unbounded-resources configuration
   of Theorem 1.
 * :mod:`repro.experiments.sweep` — the declarative, ``multiprocessing``-backed
-  sweep engine every figure module builds its grid on.
+  sweep engine every figure module builds its grid on; its points are single
+  columns or whole multi-edge scenarios (:mod:`repro.scenario`).
+* :mod:`repro.experiments.scenarios` — the CLI's multi-edge scenario
+  experiment over the :mod:`repro.scenario.library` fleets.
 * :mod:`repro.experiments.report` — plain-text table rendering and JSON
   artifact output shared by the CLI, benches and examples.
 """

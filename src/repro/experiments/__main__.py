@@ -6,11 +6,15 @@ series it plots, and optionally write a machine-readable artifact::
     python -m repro.experiments fig3
     python -m repro.experiments fig7c --duration 20 --jobs 4
     python -m repro.experiments fig8 --jobs 4 --json fig8.json
+    python -m repro.experiments scenario --edges 4 --json fleets.json
     python -m repro.experiments all --duration 15
 
-Figure ids: fig3, fig4, fig5, fig6, fig7ab, fig7c, fig7d, fig8, theorem1,
-sensitivity.  ``--jobs`` defaults to every available CPU; ``--jobs 1`` runs
-serially and produces identical series for the same root seed.
+Experiment ids: fig3, fig4, fig5, fig6, fig7ab, fig7c, fig7d, fig8,
+theorem1, sensitivity, scenario.  ``scenario`` runs the multi-edge library
+fleets (heterogeneous loss ramp sized by ``--edges``, geo-skewed regions,
+flash crowd) and reports per-edge rows plus fleet aggregates.  ``--jobs``
+defaults to every available CPU; ``--jobs 1`` runs serially and produces
+identical series for the same root seed.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ from repro.experiments import (
     fig7_realistic,
     fig8_strategies,
     realistic,
+    scenarios,
     sensitivity,
     theorem1,
 )
@@ -181,6 +186,15 @@ def _run_theorem1(duration: float, jobs: int):
     return sections, [theorem1.spec(duration=duration)]
 
 
+def _run_scenario(duration: float, jobs: int, edges: int = 3):
+    per_edge, per_fleet = scenarios.run(edges=edges, duration=duration, jobs=jobs)
+    sections = [
+        _section("Scenarios: per-edge view", per_edge),
+        _section("Scenarios: fleet aggregates", per_fleet),
+    ]
+    return sections, [scenarios.spec(edges=edges, duration=duration)]
+
+
 def _run_sensitivity(duration: float, jobs: int):
     half = duration / 2.0
     sections = [
@@ -215,6 +229,7 @@ EXPERIMENTS = {
     "fig8": _run_fig8,
     "theorem1": _run_theorem1,
     "sensitivity": _run_sensitivity,
+    "scenario": _run_scenario,
 }
 
 
@@ -241,6 +256,13 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for sweep columns (default: all CPUs; 1 = serial)",
     )
     parser.add_argument(
+        "--edges",
+        type=int,
+        default=3,
+        help="edge count for the scenario experiment's loss-ramp fleet "
+        "(default: 3; ignored by the figure experiments)",
+    )
+    parser.add_argument(
         "--json",
         dest="json_path",
         metavar="PATH",
@@ -249,6 +271,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     jobs = resolve_jobs(args.jobs)
+    if args.edges < 1:
+        parser.error(f"--edges: need at least one edge, got {args.edges}")
     if args.json_path:
         # Fail before the sweeps run, not after minutes of simulation.
         if os.path.isdir(args.json_path):
@@ -263,7 +287,10 @@ def main(argv: list[str] | None = None) -> int:
     payloads = []
     for name in selected:
         start = time.perf_counter()
-        sections, specs = EXPERIMENTS[name](args.duration, jobs)
+        if name == "scenario":
+            sections, specs = EXPERIMENTS[name](args.duration, jobs, edges=args.edges)
+        else:
+            sections, specs = EXPERIMENTS[name](args.duration, jobs)
         elapsed = time.perf_counter() - start
         for section in sections:
             stride = section.get("stride", 1)

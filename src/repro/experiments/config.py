@@ -9,25 +9,17 @@ uniformly at random, dependency lists bounded at 5.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from enum import Enum
 
+# CacheKind moved to the cache layer with the scenario redesign so that
+# scenario specs can name cache variants without importing the experiment
+# harness; it is re-exported here under its historical path.
+from repro.cache.kinds import CacheKind
 from repro.core.deplist import UNBOUNDED
 from repro.core.strategies import Strategy
 from repro.db.database import TimingConfig
 from repro.errors import ConfigurationError
 
 __all__ = ["CacheKind", "ColumnConfig"]
-
-
-class CacheKind(Enum):
-    """Which cache server fronts the column."""
-
-    TCACHE = "tcache"
-    PLAIN = "plain"
-    TTL = "ttl"
-    #: §VI extension: T-Cache with per-object version history (TxCache-style
-    #: multiversioning) that serves older versions instead of aborting.
-    MULTIVERSION = "multiversion"
 
 
 @dataclass(slots=True)
@@ -90,3 +82,16 @@ class ColumnConfig:
     @property
     def total_time(self) -> float:
         return self.warmup + self.duration
+
+    def as_scenario(self, workload, *, read_workload=None, name: str = "column"):
+        """This config as a one-edge :class:`~repro.scenario.spec.ScenarioSpec`.
+
+        The scenario executes bit-identically to ``run_column`` with the
+        same arguments; use it as the starting point for growing a
+        single-column experiment into a fleet.
+        """
+        from repro.scenario.spec import ScenarioSpec
+
+        return ScenarioSpec.from_column(
+            self, workload, read_workload=read_workload, name=name
+        )

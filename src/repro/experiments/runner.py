@@ -1,90 +1,35 @@
-"""Build and run one experimental column (Figure 2).
+"""Single-column (one-edge) experiment runner — a shim over the scenario layer.
 
-The runner wires together every substrate: the simulation kernel, the
-transactional database, the lossy invalidation channel, the configured cache
-server, the open-loop clients and the consistency monitor — then runs for
-``warmup + duration`` simulated seconds and extracts the metrics the figures
-need. Measurement excludes the warm-up window.
+Historically this module wired the whole of Figure 2 by hand; with the
+scenario redesign the wiring lives in :mod:`repro.scenario.runner`, and the
+single-column entry points here build a one-edge
+:class:`~repro.scenario.spec.ScenarioSpec` instead. The scenario layer
+preserves the historical RNG stream names and transaction-id range for its
+first edge, so these shims reproduce the pre-scenario results bit for bit —
+all nine figure modules run unchanged on top of them.
+
+:class:`ColumnResult` itself now lives in :mod:`repro.scenario.results` and
+is re-exported here under its historical import path.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cache.base import CacheServer
-from repro.cache.ttl import TTLCache
-from repro.clients.read_client import ReadClientStats, ReadOnlyClient
-from repro.clients.update_client import UpdateClient, UpdateClientStats
-from repro.core.strategies import Strategy
-from repro.core.tcache import TCache
-from repro.db.database import Database, DatabaseConfig, DatabaseStats
-from repro.experiments.config import CacheKind, ColumnConfig
+from repro.clients.read_client import ReadOnlyClient
+from repro.clients.update_client import UpdateClient
+from repro.db.database import Database
+from repro.experiments.config import ColumnConfig
 from repro.monitor.monitor import ConsistencyMonitor
-from repro.monitor.stats import CLASSES, ClassCounts
-from repro.cache.base import CacheStats
-from repro.sim.channel import Channel, ChannelStats
+from repro.scenario.results import ColumnResult
+from repro.scenario.runner import build_scenario, collect_column_result
+from repro.scenario.spec import ScenarioSpec
+from repro.sim.channel import Channel
 from repro.sim.core import Simulator
-from repro.sim.rng import RngStreams
 from repro.workloads.base import Workload
 
 __all__ = ["ColumnResult", "run_column", "build_column", "Column"]
-
-
-@dataclass(slots=True)
-class ColumnResult:
-    """Everything an experiment needs from one finished run."""
-
-    config: ColumnConfig
-    #: Classification counts within the measured window only.
-    counts: ClassCounts
-    cache_stats: CacheStats
-    db_stats: DatabaseStats
-    channel_stats: ChannelStats
-    update_client_stats: UpdateClientStats
-    read_client_stats: ReadClientStats
-    #: Per-window rates across the whole run including warm-up (Figs. 4, 5).
-    series: list[dict[str, float]] = field(default_factory=list)
-    #: T-Cache detection counters (zero for the baselines).
-    detections_eq1: int = 0
-    detections_eq2: int = 0
-    retries_resolved: int = 0
-
-    # ------------------------------------------------------------------
-    # Figure metrics
-    # ------------------------------------------------------------------
-
-    @property
-    def inconsistency_ratio(self) -> float:
-        """Inconsistent commits / all commits, measured window."""
-        return self.counts.inconsistency_ratio
-
-    @property
-    def detection_ratio(self) -> float:
-        """Detected / potential inconsistencies, measured window."""
-        return self.counts.detection_ratio
-
-    @property
-    def abort_ratio(self) -> float:
-        return self.counts.abort_ratio
-
-    @property
-    def hit_ratio(self) -> float:
-        return self.cache_stats.hit_ratio
-
-    @property
-    def db_access_rate(self) -> float:
-        """Cache-originated database reads per measured second.
-
-        Uses whole-run cache counters scaled to the full run time; the
-        steady-state rate is what Fig. 7's bottom panels report.
-        """
-        return self.cache_stats.db_accesses / self.config.total_time
-
-    def class_shares(self) -> dict[str, float]:
-        """Fractions of read-only transactions per class (Figs. 6, 8)."""
-        total = self.counts.total or 1
-        return {label: getattr(self.counts, label) / total for label in CLASSES}
 
 
 @dataclass(slots=True)
@@ -97,7 +42,8 @@ class Column:
     cache: CacheServer
     channel: Channel
     monitor: ConsistencyMonitor
-    update_client: UpdateClient
+    #: ``None`` when ``config.update_rate`` is 0 (a read-only column).
+    update_client: UpdateClient | None
     read_client: ReadOnlyClient
 
 
@@ -108,61 +54,18 @@ def build_column(
     read_workload: Workload | None = None,
 ) -> Column:
     """Wire every component of Figure 2 without running the clock."""
-    sim = Simulator()
-    streams = RngStreams(config.seed)
-
-    database = Database(
-        sim,
-        DatabaseConfig(
-            deplist_max=config.deplist_max,
-            timing=config.timing,
-            pruning_policy=config.pruning_policy,
-        ),
-    )
-    database.load({key: f"init:{key}" for key in workload.all_keys()})
-
-    cache = _make_cache(sim, database, config)
-
-    channel = Channel(
-        sim,
-        cache.handle_invalidation,
-        latency=lambda rng: float(rng.exponential(config.invalidation_latency_mean)),
-        loss_probability=config.invalidation_loss,
-        rng=streams.stream("invalidation-channel"),
-        name="invalidations",
-    )
-    database.register_invalidation_channel(channel)
-
-    monitor = ConsistencyMonitor(sim, window=config.monitor_window)
-    database.add_commit_listener(monitor.record_update)
-    cache.add_transaction_listener(monitor.record_read_only)
-
-    update_client = UpdateClient(
-        sim,
-        database,
-        workload,
-        rate=config.update_rate,
-        rng=streams.stream("update-client"),
-    )
-    read_client = ReadOnlyClient(
-        sim,
-        cache,
-        read_workload or workload,
-        rate=config.read_rate,
-        rng=streams.stream("read-client"),
-        txn_ids=itertools.count(1),
-        read_gap=config.read_gap,
-        retry_aborted=config.retry_aborted_reads,
-    )
+    spec = ScenarioSpec.from_column(config, workload, read_workload=read_workload)
+    scenario = build_scenario(spec)
+    edge = scenario.edges[0]
     return Column(
-        sim=sim,
+        sim=scenario.sim,
         config=config,
-        database=database,
-        cache=cache,
-        channel=channel,
-        monitor=monitor,
-        update_client=update_client,
-        read_client=read_client,
+        database=scenario.database,
+        cache=edge.cache,
+        channel=edge.channel,
+        monitor=scenario.monitor,
+        update_client=edge.update_client,
+        read_client=edge.read_client,
     )
 
 
@@ -179,42 +82,18 @@ def run_column(
 
 
 def collect_result(column: Column) -> ColumnResult:
-    """Extract a :class:`ColumnResult` from a finished column."""
-    config = column.config
-    measured = ClassCounts()
-    for start, counts in column.monitor.series.buckets():
-        if start >= config.warmup:
-            for label in CLASSES:
-                setattr(measured, label, getattr(measured, label) + getattr(counts, label))
+    """Extract a :class:`ColumnResult` from a finished column.
 
-    cache = column.cache
-    return ColumnResult(
-        config=config,
-        counts=measured,
-        cache_stats=cache.stats,
+    Delegates to the scenario layer's assembler so the single-column and
+    per-edge extraction paths cannot drift.
+    """
+    return collect_column_result(
+        column.config,
+        column.monitor.series,
+        column.config.warmup,
+        cache=column.cache,
         db_stats=column.database.stats,
         channel_stats=column.channel.stats,
-        update_client_stats=column.update_client.stats,
-        read_client_stats=column.read_client.stats,
-        series=column.monitor.series.rates(),
-        detections_eq1=getattr(cache, "detections_eq1", 0),
-        detections_eq2=getattr(cache, "detections_eq2", 0),
-        retries_resolved=getattr(cache, "retries_resolved", 0),
+        update_client=column.update_client,
+        read_client=column.read_client,
     )
-
-
-def _make_cache(sim: Simulator, database: Database, config: ColumnConfig) -> CacheServer:
-    if config.cache_kind is CacheKind.TCACHE:
-        return TCache(
-            sim,
-            database,
-            strategy=config.strategy,
-            capacity=config.cache_capacity,
-        )
-    if config.cache_kind is CacheKind.MULTIVERSION:
-        from repro.core.multiversion import MultiversionTCache
-
-        return MultiversionTCache(sim, database, capacity=config.cache_capacity)
-    if config.cache_kind is CacheKind.TTL:
-        return TTLCache(sim, database, ttl=config.ttl, capacity=config.cache_capacity)
-    return CacheServer(sim, database, capacity=config.cache_capacity)

@@ -1,0 +1,107 @@
+"""Multi-edge scenario experiments for the CLI (``scenario`` experiment).
+
+Runs the library fleets — a heterogeneous-loss fleet sized by ``--edges``,
+the geo-skewed regions, and the flash-crowd surge — as one sweep of scenario
+points, then reports two views: per-edge rows (which edge hurts and why) and
+fleet aggregates (what the whole deployment looks like from the backend).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.sweep import SweepPoint, SweepSpec, run_sweep
+from repro.scenario.library import (
+    flash_crowd_scenario,
+    geo_skewed_scenario,
+    heterogeneous_loss_fleet,
+)
+from repro.scenario.results import ScenarioResult
+
+__all__ = ["spec", "run", "edge_rows", "fleet_rows"]
+
+
+def spec(*, edges: int = 3, duration: float = 30.0, seed: int = 101) -> SweepSpec:
+    """One sweep over the three library fleets (scenario points)."""
+    warmup = max(1.0, duration / 6.0)
+    return SweepSpec(
+        name="scenarios",
+        description="multi-edge topologies: loss ramp, geo skew, flash crowd",
+        root_seed=seed,
+        points=[
+            SweepPoint(
+                label="hetero-loss",
+                scenario=heterogeneous_loss_fleet(
+                    edges=edges, duration=duration, warmup=warmup, seed=seed
+                ),
+                params={"edges": edges},
+            ),
+            SweepPoint(
+                label="geo-skew",
+                scenario=geo_skewed_scenario(
+                    duration=duration, warmup=warmup, seed=seed + 1
+                ),
+                params={"regions": 3},
+            ),
+            SweepPoint(
+                label="flash-crowd",
+                scenario=flash_crowd_scenario(
+                    duration=duration, warmup=warmup, seed=seed + 2
+                ),
+                params={"quiet_edges": 2},
+            ),
+        ],
+    )
+
+
+def edge_rows(label: str, result: ScenarioResult) -> list[dict[str, object]]:
+    """One row per edge: channel quality in, consistency metrics out."""
+    rows = []
+    for edge_spec, edge in result.pairs():
+        rows.append(
+            {
+                "scenario": label,
+                "edge": edge_spec.name,
+                "loss_pct": round(100.0 * edge_spec.invalidation_loss, 1),
+                "read_rate": edge_spec.read_rate,
+                "update_rate": edge_spec.update_rate,
+                "inconsistency_pct": round(100.0 * edge.inconsistency_ratio, 2),
+                "detection_pct": round(100.0 * edge.detection_ratio, 1),
+                "hit_pct": round(100.0 * edge.hit_ratio, 1),
+                "db_reads_per_s": round(edge.db_access_rate, 1),
+            }
+        )
+    return rows
+
+
+def fleet_rows(label: str, result: ScenarioResult) -> list[dict[str, object]]:
+    """One aggregate row per scenario: the backend's view of the fleet."""
+    fleet = result.fleet
+    return [
+        {
+            "scenario": label,
+            "edges": len(result.spec),
+            "inconsistency_pct": round(100.0 * fleet.inconsistency_ratio, 2),
+            "detection_pct": round(100.0 * fleet.detection_ratio, 1),
+            "hit_pct": round(100.0 * fleet.hit_ratio, 1),
+            "backend_reads_per_s": round(fleet.backend_read_rate, 1),
+            "update_commits": fleet.update_commits,
+            "inconsistency_var": round(fleet.inconsistency_variance, 6),
+            "hit_ratio_var": round(fleet.hit_ratio_variance, 6),
+        }
+    ]
+
+
+def run(
+    *,
+    edges: int = 3,
+    duration: float = 30.0,
+    seed: int = 101,
+    jobs: int | None = 1,
+) -> tuple[list[dict[str, object]], list[dict[str, object]]]:
+    """Run the scenario sweep; returns (per-edge rows, fleet rows)."""
+    sweep = run_sweep(spec(edges=edges, duration=duration, seed=seed), jobs=jobs)
+    per_edge: list[dict[str, object]] = []
+    per_fleet: list[dict[str, object]] = []
+    for point, result in sweep.pairs():
+        per_edge.extend(edge_rows(point.label, result))
+        per_fleet.extend(fleet_rows(point.label, result))
+    return per_edge, per_fleet

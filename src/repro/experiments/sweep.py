@@ -5,9 +5,11 @@ single-column simulations — embarrassingly parallel work that the figure
 modules used to run one at a time in hand-rolled loops.  This module gives
 them a shared, declarative substrate:
 
-* :class:`SweepPoint` — one column of a figure: a :class:`ColumnConfig`, the
-  workload(s) that drive it, a stable label and free-form ``params`` that
-  downstream row-builders and JSON artifacts attach to the result.
+* :class:`SweepPoint` — one independent unit of a grid: either a single
+  column (a :class:`ColumnConfig` plus the workload(s) that drive it) or a
+  whole multi-edge topology (a :class:`~repro.scenario.spec.ScenarioSpec`),
+  with a stable label and free-form ``params`` that downstream row-builders
+  and JSON artifacts attach to the result.
 * :class:`SweepSpec` — a named, ordered grid of points with a root seed.
   Specs are plain data; building one runs nothing.
 * :func:`run_sweep` — executes a spec either serially (``jobs=1``) or on a
@@ -22,9 +24,9 @@ spec's root seed.  Sweeps that compare columns on the *same* randomness
 (e.g. the strategy bars of Figs. 6 and 8) intentionally share one seed
 across their points instead; the spec builder decides.
 
-Only the ``(config, workload, read_workload)`` triple travels to worker
-processes, so row-building callables in the figure modules may freely be
-closures.  Workloads are stateless with respect to the per-column RNG
+Only the ``(config, workload, read_workload, scenario)`` tuple travels to
+worker processes, so row-building callables in the figure modules may freely
+be closures.  Workloads are stateless with respect to the per-column RNG
 streams (the clients pass their own generators in), which is what makes the
 fan-out safe.
 """
@@ -41,6 +43,9 @@ from repro.errors import ConfigurationError
 from repro.experiments.config import ColumnConfig
 from repro.experiments.report import json_safe
 from repro.experiments.runner import ColumnResult, run_column
+from repro.scenario.results import ScenarioResult
+from repro.scenario.runner import run_scenario
+from repro.scenario.spec import ScenarioSpec
 from repro.workloads.base import Workload
 
 __all__ = [
@@ -73,14 +78,39 @@ def resolve_jobs(jobs: int | None) -> int:
 
 @dataclass(slots=True)
 class SweepPoint:
-    """One independent column of a figure's grid."""
+    """One independent unit of a grid: a single column or a whole scenario.
+
+    Column points pass ``config`` + ``workload`` (+ optional
+    ``read_workload``) and execute via ``run_column``; scenario points pass
+    ``scenario`` instead and execute via ``run_scenario``, yielding a
+    :class:`~repro.scenario.results.ScenarioResult` in the sweep's results.
+    """
 
     label: str
-    config: ColumnConfig
-    workload: Workload
+    config: ColumnConfig | None = None
+    workload: Workload | None = None
     read_workload: Workload | None = None
+    #: A whole multi-edge topology; mutually exclusive with ``config``.
+    scenario: ScenarioSpec | None = None
     #: Sweep coordinates (e.g. ``{"alpha": 0.5}``) echoed into rows/artifacts.
     params: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.scenario is not None:
+            if self.config is not None or self.workload is not None:
+                raise ConfigurationError(
+                    f"point {self.label!r}: pass either scenario= or "
+                    "config=+workload=, not both"
+                )
+            if self.read_workload is not None:
+                raise ConfigurationError(
+                    f"point {self.label!r}: read_workload belongs to the "
+                    "edge specs of a scenario point"
+                )
+        elif self.config is None or self.workload is None:
+            raise ConfigurationError(
+                f"point {self.label!r}: a column point needs config= and workload="
+            )
 
 
 @dataclass(slots=True)
@@ -109,44 +139,56 @@ class SweepResult:
     """Results of one executed spec, in spec order."""
 
     spec: SweepSpec
-    results: list[ColumnResult]
+    results: list[ColumnResult | ScenarioResult]
     jobs: int
     wall_clock_seconds: float
 
-    def pairs(self) -> Iterator[tuple[SweepPoint, ColumnResult]]:
+    def pairs(self) -> Iterator[tuple[SweepPoint, ColumnResult | ScenarioResult]]:
         return zip(self.spec.points, self.results)
 
-    def result_for(self, label: str) -> ColumnResult:
+    def result_for(self, label: str) -> ColumnResult | ScenarioResult:
         for point, result in self.pairs():
             if point.label == label:
                 return result
         raise KeyError(f"no sweep point labelled {label!r} in {self.spec.name!r}")
 
     def to_artifact(self) -> dict[str, object]:
-        """JSON-safe record of the run: config + series + wall-clock metadata."""
+        """JSON-safe record of the run: config + series + wall-clock metadata.
+
+        Column points carry their series and counts; scenario points carry
+        the full per-edge + fleet record from
+        :meth:`~repro.scenario.results.ScenarioResult.to_artifact`.
+        """
         payload = spec_artifact(self.spec)
         payload["jobs"] = self.jobs
         payload["wall_clock_seconds"] = self.wall_clock_seconds
         for column, result in zip(payload["columns"], self.results):
-            column["series"] = result.series
-            column["counts"] = asdict(result.counts)
+            if isinstance(result, ScenarioResult):
+                column["result"] = result.to_artifact()
+            else:
+                column["series"] = result.series
+                column["counts"] = asdict(result.counts)
         return payload
 
 
 def spec_artifact(spec: SweepSpec) -> dict[str, object]:
-    """JSON-safe description of a spec's grid — enough to re-run any column."""
+    """JSON-safe description of a spec's grid — enough to re-run any point."""
+    columns = []
+    for point in spec.points:
+        column: dict[str, object] = {
+            "label": point.label,
+            "params": json_safe(dict(point.params)),
+        }
+        if point.scenario is not None:
+            column["scenario"] = point.scenario.as_dict()
+        else:
+            column["config"] = config_as_dict(point.config)
+        columns.append(column)
     return {
         "spec": spec.name,
         "description": spec.description,
         "root_seed": spec.root_seed,
-        "columns": [
-            {
-                "label": point.label,
-                "params": json_safe(dict(point.params)),
-                "config": config_as_dict(point.config),
-            }
-            for point in spec.points
-        ],
+        "columns": columns,
     }
 
 
@@ -156,9 +198,13 @@ def config_as_dict(config: ColumnConfig) -> dict[str, object]:
 
 
 def _execute_point(
-    payload: tuple[ColumnConfig, Workload, Workload | None]
-) -> ColumnResult:
-    config, workload, read_workload = payload
+    payload: tuple[
+        ColumnConfig | None, Workload | None, Workload | None, ScenarioSpec | None
+    ]
+) -> ColumnResult | ScenarioResult:
+    config, workload, read_workload, scenario = payload
+    if scenario is not None:
+        return run_scenario(scenario)
     return run_column(config, workload, read_workload=read_workload)
 
 
@@ -179,7 +225,8 @@ def run_sweep(spec: SweepSpec, *, jobs: int | None = None) -> SweepResult:
     """
     jobs = resolve_jobs(jobs)
     payloads = [
-        (point.config, point.workload, point.read_workload) for point in spec.points
+        (point.config, point.workload, point.read_workload, point.scenario)
+        for point in spec.points
     ]
     workers = min(jobs, len(payloads))
     start = time.perf_counter()

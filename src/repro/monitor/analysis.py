@@ -20,7 +20,7 @@ uses and costs O(1) per read.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.types import CommittedTransaction, Key, ReadOnlyTransactionRecord, Version
 
@@ -96,7 +96,7 @@ class StalenessProbe:
 
     def _depth_of(self, key: Key, seen: Version, current: Version) -> int:
         """Number of committed versions between ``seen`` and ``current``."""
-        from bisect import bisect_left, bisect_right
+        from bisect import bisect_right
 
         chain = self._version_index.get(key, [])
         return bisect_right(chain, current) - bisect_right(chain, seen)

@@ -42,6 +42,12 @@ class ConsistencyMonitor:
         self.tester = SerializationGraphTester()
         self.summary = MonitorSummary()
         self.series = TimeSeries(window=window)
+        #: Per-source (per-edge) views, keyed by the ``source`` tag passed to
+        #: :meth:`record_read_only`. One shared monitor classifies the whole
+        #: fleet against one serialization graph while each edge keeps its
+        #: own summary and time series.
+        self.source_summaries: dict[str, MonitorSummary] = {}
+        self.source_series: dict[str, TimeSeries] = {}
         #: Witnesses of committed-inconsistent transactions, for debugging
         #: and tests (bounded to avoid unbounded growth in long runs).
         self.inconsistency_witnesses: list[ReadOnlyTransactionRecord] = []
@@ -55,7 +61,16 @@ class ConsistencyMonitor:
         self.tester.record_update(txn)
         self.summary.update_commits += 1
 
-    def record_read_only(self, record: ReadOnlyTransactionRecord) -> None:
+    def record_read_only(
+        self, record: ReadOnlyTransactionRecord, source: str | None = None
+    ) -> None:
+        """Classify one finished read-only transaction.
+
+        ``source`` optionally names the edge the transaction ran against;
+        tagged records additionally accumulate into that source's own
+        summary and series (the scenario runner's per-edge views) while the
+        fleet-wide classification stays unified.
+        """
         consistent = (not record.non_repeatable) and self.tester.is_consistent(
             record.reads
         )
@@ -69,6 +84,15 @@ class ConsistencyMonitor:
             label = ABORTED_UNNECESSARY if consistent else ABORTED_NECESSARY
         self.summary.read_only.add(label)
         self.series.record(record.finish_time, label)
+        if source is not None:
+            summary = self.source_summaries.get(source)
+            if summary is None:
+                summary = self.source_summaries[source] = MonitorSummary()
+                self.source_series[source] = TimeSeries(window=self.series.window)
+            if record.non_repeatable:
+                summary.non_repeatable += 1
+            summary.read_only.add(label)
+            self.source_series[source].record(record.finish_time, label)
 
     # ------------------------------------------------------------------
     # Convenience accessors used by the experiments

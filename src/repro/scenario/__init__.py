@@ -1,0 +1,50 @@
+"""Declarative multi-edge topologies: the scenario layer.
+
+The paper's setting is many edge caches in front of one transactional
+backend; this package makes that topology a first-class, declarative input:
+
+* :mod:`repro.scenario.spec` — :class:`EdgeSpec` (one cache + channel +
+  client population) and :class:`ScenarioSpec` (a validated fleet of edges
+  sharing one database, one clock and one consistency monitor).
+* :mod:`repro.scenario.runner` — :func:`build_scenario` / :func:`run_scenario`
+  wire and execute a fleet; a one-edge scenario reproduces the historical
+  single-column runner bit for bit.
+* :mod:`repro.scenario.results` — :class:`ColumnResult` (the per-edge view,
+  re-exported by :mod:`repro.experiments.runner` under its historical path)
+  and :class:`ScenarioResult` with :class:`FleetAggregates`.
+* :mod:`repro.scenario.library` — ready-made fleets (geo-skewed regions,
+  flash crowds, heterogeneous invalidation loss) that the single-column API
+  could not express.
+
+The sweep engine (:mod:`repro.experiments.sweep`) accepts scenario points,
+so grids over whole topologies parallelise exactly like figure columns.
+"""
+
+from repro.scenario.library import (
+    flash_crowd_scenario,
+    geo_skewed_scenario,
+    heterogeneous_loss_fleet,
+)
+from repro.scenario.results import ColumnResult, FleetAggregates, ScenarioResult
+from repro.scenario.runner import (
+    Scenario,
+    ScenarioEdge,
+    build_scenario,
+    run_scenario,
+)
+from repro.scenario.spec import EdgeSpec, ScenarioSpec
+
+__all__ = [
+    "ColumnResult",
+    "EdgeSpec",
+    "FleetAggregates",
+    "Scenario",
+    "ScenarioEdge",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "build_scenario",
+    "flash_crowd_scenario",
+    "geo_skewed_scenario",
+    "heterogeneous_loss_fleet",
+    "run_scenario",
+]

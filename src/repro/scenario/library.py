@@ -1,0 +1,225 @@
+"""Ready-made multi-edge scenarios the single-column API could not express.
+
+Three families, all parameterised and cheap to scale down for smoke tests:
+
+* :func:`heterogeneous_loss_fleet` — N identical edges whose invalidation
+  channels degrade progressively (0 % loss at the first edge, ``max_loss``
+  at the last). The fleet aggregate shows how one bad region drags global
+  inconsistency while the per-edge rows localise it.
+* :func:`geo_skewed_scenario` — regions with *disjoint* hot sets (each edge
+  updates and mostly reads its own key slice) plus a globally shared,
+  globally updated segment that every region occasionally reads — the
+  TransEdge/CausalMesh evaluation shape.
+* :func:`flash_crowd_scenario` — one edge serving a flash crowd (high read
+  rate concentrated on a small hot set) next to quiet edges, all over the
+  same catalogue.
+"""
+
+from __future__ import annotations
+
+from repro.core.strategies import Strategy
+from repro.errors import ConfigurationError
+from repro.scenario.spec import EdgeSpec, ScenarioSpec
+from repro.workloads.synthetic import (
+    MixtureWorkload,
+    OffsetWorkload,
+    ParetoClusterWorkload,
+    PerfectClusterWorkload,
+    UniformWorkload,
+)
+
+__all__ = [
+    "flash_crowd_scenario",
+    "geo_skewed_scenario",
+    "heterogeneous_loss_fleet",
+]
+
+
+def heterogeneous_loss_fleet(
+    *,
+    edges: int = 3,
+    max_loss: float = 0.4,
+    n_objects: int = 1000,
+    cluster_size: int = 5,
+    duration: float = 30.0,
+    warmup: float = 5.0,
+    seed: int = 101,
+    read_rate: float = 400.0,
+    update_rate: float = 80.0,
+    strategy: Strategy = Strategy.ABORT,
+) -> ScenarioSpec:
+    """N identical edges over one catalogue, loss ramping from 0 to max."""
+    if edges < 1:
+        raise ConfigurationError(f"need at least one edge, got {edges}")
+    workload = PerfectClusterWorkload(n_objects=n_objects, cluster_size=cluster_size)
+    specs = [
+        EdgeSpec(
+            name=f"edge{index}",
+            workload=workload,
+            strategy=strategy,
+            read_rate=read_rate,
+            update_rate=update_rate,
+            # 0 % at the first edge, max_loss at the last; a one-edge
+            # "fleet" degenerates to the clean end of the ramp.
+            invalidation_loss=max_loss * index / max(1, edges - 1),
+        )
+        for index in range(edges)
+    ]
+    return ScenarioSpec(
+        name=f"hetero-loss-{edges}edges",
+        description=(
+            f"{edges} edges over one catalogue; invalidation loss ramps "
+            f"0 -> {max_loss:g}"
+        ),
+        edges=specs,
+        seed=seed,
+        duration=duration,
+        warmup=warmup,
+    )
+
+
+def geo_skewed_scenario(
+    *,
+    regions: int = 3,
+    objects_per_region: int = 600,
+    shared_objects: int = 200,
+    cluster_size: int = 5,
+    remote_read_fraction: float = 0.1,
+    duration: float = 30.0,
+    warmup: float = 5.0,
+    seed: int = 211,
+    read_rate: float = 400.0,
+    update_rate: float = 80.0,
+    shared_update_rate: float = 40.0,
+) -> ScenarioSpec:
+    """Regions with disjoint hot sets plus a globally shared segment.
+
+    Each region's updates stay local; its reads are a mixture of the local
+    slice and the shared segment (``remote_read_fraction``). The shared
+    segment is updated by a dedicated write-heavy "origin" edge, so every
+    region's view of it depends on that region's invalidation quality.
+    """
+    if regions < 2:
+        raise ConfigurationError(f"geo skew needs >= 2 regions, got {regions}")
+    if not 0.0 <= remote_read_fraction <= 1.0:
+        raise ConfigurationError(
+            f"remote_read_fraction must be in [0, 1], got {remote_read_fraction}"
+        )
+    shared = OffsetWorkload(
+        PerfectClusterWorkload(
+            n_objects=shared_objects, cluster_size=cluster_size
+        ),
+        offset=regions * objects_per_region,
+    )
+    specs = []
+    for index in range(regions):
+        local = OffsetWorkload(
+            PerfectClusterWorkload(
+                n_objects=objects_per_region, cluster_size=cluster_size
+            ),
+            offset=index * objects_per_region,
+        )
+        specs.append(
+            EdgeSpec(
+                name=f"region{index}",
+                workload=local,
+                read_workload=MixtureWorkload(
+                    [(1.0 - remote_read_fraction, local), (remote_read_fraction, shared)]
+                ),
+                read_rate=read_rate,
+                update_rate=update_rate,
+                # Farther regions see progressively worse invalidation paths.
+                invalidation_loss=0.1 + 0.2 * index / max(1, regions - 1),
+                invalidation_latency_mean=0.05 * (1 + index),
+            )
+        )
+    specs.append(
+        EdgeSpec(
+            name="origin",
+            workload=shared,
+            read_rate=100.0,
+            update_rate=shared_update_rate,
+            invalidation_loss=0.05,
+            invalidation_latency_mean=0.01,
+        )
+    )
+    return ScenarioSpec(
+        name=f"geo-skew-{regions}regions",
+        description=(
+            f"{regions} regions with disjoint hot sets + shared segment "
+            f"({remote_read_fraction:.0%} remote reads)"
+        ),
+        edges=specs,
+        seed=seed,
+        duration=duration,
+        warmup=warmup,
+    )
+
+
+def flash_crowd_scenario(
+    *,
+    quiet_edges: int = 2,
+    n_objects: int = 1000,
+    hot_objects: int = 100,
+    cluster_size: int = 5,
+    crowd_read_rate: float = 1500.0,
+    quiet_read_rate: float = 150.0,
+    update_rate: float = 100.0,
+    hot_alpha: float = 4.0,
+    duration: float = 30.0,
+    warmup: float = 5.0,
+    seed: int = 307,
+) -> ScenarioSpec:
+    """One flash-crowd edge hammering a hot subset next to quiet edges.
+
+    All edges share one catalogue updated at ``update_rate`` from the first
+    quiet edge (the steady background traffic); the crowd edge itself is a
+    read-only population concentrated on the first ``hot_objects`` keys with
+    Pareto skew ``hot_alpha``.
+    """
+    if quiet_edges < 1:
+        raise ConfigurationError(
+            f"need at least one quiet edge, got {quiet_edges}"
+        )
+    if hot_objects > n_objects:
+        raise ConfigurationError(
+            f"hot_objects {hot_objects} exceeds catalogue size {n_objects}"
+        )
+    catalogue = PerfectClusterWorkload(n_objects=n_objects, cluster_size=cluster_size)
+    hot_set = ParetoClusterWorkload(
+        n_objects=hot_objects, cluster_size=cluster_size, alpha=hot_alpha
+    )
+    specs = [
+        EdgeSpec(
+            name="crowd",
+            workload=catalogue,
+            read_workload=hot_set,
+            read_rate=crowd_read_rate,
+            update_rate=0.0,  # a pure read surge
+            strategy=Strategy.EVICT,
+            invalidation_loss=0.2,
+        )
+    ]
+    for index in range(quiet_edges):
+        specs.append(
+            EdgeSpec(
+                name=f"quiet{index}",
+                workload=catalogue,
+                read_workload=UniformWorkload(n_objects=n_objects),
+                read_rate=quiet_read_rate,
+                # Background update traffic originates at the quiet edges.
+                update_rate=update_rate if index == 0 else update_rate / 2,
+                invalidation_loss=0.2,
+            )
+        )
+    return ScenarioSpec(
+        name=f"flash-crowd-{1 + quiet_edges}edges",
+        description=(
+            f"read surge ({crowd_read_rate:g}/s on {hot_objects} hot keys) "
+            f"next to {quiet_edges} quiet edges"
+        ),
+        edges=specs,
+        seed=seed,
+        duration=duration,
+        warmup=warmup,
+    )

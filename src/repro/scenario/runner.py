@@ -1,0 +1,327 @@
+"""Build and run a multi-edge scenario.
+
+The executor generalises the historical single-column runner: one simulated
+clock, one transactional backend, one omniscient consistency monitor — and
+one cache + invalidation channel + client population per
+:class:`~repro.scenario.spec.EdgeSpec`. Every edge's updates commit at the
+shared database, whose invalidation stream fans out to every edge's channel
+with that edge's own loss and latency.
+
+Determinism and legacy equivalence
+----------------------------------
+
+Randomness follows the package's named-stream policy
+(:class:`~repro.sim.rng.RngStreams`): each consumer draws from its own
+independently seeded generator, so adding edges never perturbs the draws of
+existing ones. Edge 0 uses the *historical* stream names
+(``invalidation-channel``, ``update-client``, ``read-client``) and the
+historical read-transaction id range (ids from 1); every later edge
+namespaces its streams by edge name and gets a disjoint id range. A
+one-edge scenario therefore reproduces the pre-scenario ``run_column``
+results bit for bit — the golden-equivalence contract the integration tests
+enforce.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.cache.base import CacheServer
+from repro.cache.kinds import CacheKind
+from repro.cache.ttl import TTLCache
+from repro.clients.read_client import ReadOnlyClient
+from repro.clients.update_client import UpdateClient, UpdateClientStats
+from repro.core.tcache import TCache
+from repro.db.database import Database, DatabaseConfig
+from repro.monitor.monitor import ConsistencyMonitor
+from repro.monitor.stats import CLASSES, ClassCounts, TimeSeries
+from repro.scenario.results import ColumnResult, FleetAggregates, ScenarioResult
+from repro.scenario.spec import EdgeSpec, ScenarioSpec
+from repro.sim.channel import Channel
+from repro.sim.core import Simulator
+from repro.sim.rng import RngStreams
+from repro.types import Key
+
+__all__ = [
+    "Scenario",
+    "ScenarioEdge",
+    "build_scenario",
+    "collect_column_result",
+    "measured_counts",
+    "run_scenario",
+]
+
+#: Read-transaction id stride between edges: edge ``i`` draws ids from
+#: ``1 + i * stride``, keeping ids unique fleet-wide (edge 0 keeps the
+#: historical range starting at 1).
+TXN_ID_STRIDE = 1_000_000_000
+
+
+@dataclass(slots=True)
+class ScenarioEdge:
+    """One wired edge: cache, invalidation channel and client populations."""
+
+    spec: EdgeSpec
+    index: int
+    cache: CacheServer
+    channel: Channel
+    #: ``None`` when the edge's ``update_rate`` is 0 (a read-only region).
+    update_client: UpdateClient | None
+    read_client: ReadOnlyClient
+
+
+@dataclass(slots=True)
+class Scenario:
+    """A fully wired fleet, exposed for integration tests and examples."""
+
+    sim: Simulator
+    spec: ScenarioSpec
+    database: Database
+    monitor: ConsistencyMonitor
+    edges: list[ScenarioEdge]
+
+    def edge(self, name: str) -> ScenarioEdge:
+        """The wired edge named ``name``."""
+        for edge in self.edges:
+            if edge.spec.name == name:
+                return edge
+        raise KeyError(f"no edge named {name!r} in scenario {self.spec.name!r}")
+
+
+def _stream_name(index: int, edge_name: str, base: str) -> str:
+    """Edge 0 keeps the historical stream names; see the module docstring."""
+    return base if index == 0 else f"{edge_name}/{base}"
+
+
+def _initial_objects(spec: ScenarioSpec) -> dict[Key, object]:
+    """The union key universe across every edge's workloads, in edge order."""
+    initial: dict[Key, object] = {}
+    for edge in spec.edges:
+        for key in edge.workload.all_keys():
+            initial.setdefault(key, f"init:{key}")
+        if edge.read_workload is not None:
+            for key in edge.read_workload.all_keys():
+                initial.setdefault(key, f"init:{key}")
+    return initial
+
+
+def _make_cache(sim: Simulator, database: Database, edge: EdgeSpec) -> CacheServer:
+    name = {"name": edge.name}
+    if edge.cache_kind is CacheKind.TCACHE:
+        return TCache(
+            sim,
+            database,
+            strategy=edge.strategy,
+            capacity=edge.cache_capacity,
+            deplist_limit=edge.deplist_limit,
+            **name,
+        )
+    if edge.cache_kind is CacheKind.MULTIVERSION:
+        from repro.core.multiversion import MultiversionTCache
+
+        return MultiversionTCache(
+            sim,
+            database,
+            capacity=edge.cache_capacity,
+            deplist_limit=edge.deplist_limit,
+            **name,
+        )
+    if edge.cache_kind is CacheKind.TTL:
+        return TTLCache(
+            sim, database, ttl=edge.ttl, capacity=edge.cache_capacity, **name
+        )
+    return CacheServer(sim, database, capacity=edge.cache_capacity, **name)
+
+
+def build_scenario(spec: ScenarioSpec) -> Scenario:
+    """Wire every component of a fleet without running the clock."""
+    sim = Simulator()
+    streams = RngStreams(spec.seed)
+
+    database = Database(
+        sim,
+        DatabaseConfig(
+            deplist_max=spec.deplist_max,
+            timing=spec.timing,
+            pruning_policy=spec.pruning_policy,
+        ),
+    )
+    database.load(_initial_objects(spec))
+
+    monitor = ConsistencyMonitor(sim, window=spec.monitor_window)
+    database.add_commit_listener(monitor.record_update)
+
+    edges: list[ScenarioEdge] = []
+    for index, edge_spec in enumerate(spec.edges):
+        cache = _make_cache(sim, database, edge_spec)
+        channel = Channel(
+            sim,
+            cache.handle_invalidation,
+            latency=lambda rng, mean=edge_spec.invalidation_latency_mean: float(
+                rng.exponential(mean)
+            ),
+            loss_probability=edge_spec.invalidation_loss,
+            rng=streams.stream(
+                _stream_name(index, edge_spec.name, "invalidation-channel")
+            ),
+            name=f"{edge_spec.name}/invalidations",
+        )
+        database.register_invalidation_channel(channel)
+        cache.add_transaction_listener(
+            lambda record, _source=edge_spec.name: monitor.record_read_only(
+                record, source=_source
+            )
+        )
+
+        update_client = None
+        if edge_spec.update_rate > 0:
+            update_client = UpdateClient(
+                sim,
+                database,
+                edge_spec.workload,
+                rate=edge_spec.update_rate,
+                rng=streams.stream(
+                    _stream_name(index, edge_spec.name, "update-client")
+                ),
+                # Unlike the other component names this one is load-bearing:
+                # the client embeds it in every value it writes, so edge 0
+                # keeps the historical name for bit-identical stored state.
+                name=(
+                    "update-client"
+                    if index == 0
+                    else f"{edge_spec.name}/update-client"
+                ),
+            )
+        read_client = ReadOnlyClient(
+            sim,
+            cache,
+            edge_spec.read_workload or edge_spec.workload,
+            rate=edge_spec.read_rate,
+            rng=streams.stream(_stream_name(index, edge_spec.name, "read-client")),
+            txn_ids=itertools.count(1 + index * TXN_ID_STRIDE),
+            read_gap=edge_spec.read_gap,
+            retry_aborted=edge_spec.retry_aborted_reads,
+            name=f"{edge_spec.name}/read-client",
+        )
+        edges.append(
+            ScenarioEdge(
+                spec=edge_spec,
+                index=index,
+                cache=cache,
+                channel=channel,
+                update_client=update_client,
+                read_client=read_client,
+            )
+        )
+
+    return Scenario(
+        sim=sim, spec=spec, database=database, monitor=monitor, edges=edges
+    )
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Run one scenario to completion and collect per-edge + fleet metrics."""
+    scenario = build_scenario(spec)
+    scenario.sim.run(until=spec.total_time)
+    return collect_scenario_result(scenario)
+
+
+def measured_counts(series: TimeSeries, warmup: float) -> ClassCounts:
+    """Classification counts from the windows at or after ``warmup``."""
+    measured = ClassCounts()
+    for start, counts in series.buckets():
+        if start >= warmup:
+            for label in CLASSES:
+                setattr(measured, label, getattr(measured, label) + getattr(counts, label))
+    return measured
+
+
+def collect_column_result(
+    config,
+    series: TimeSeries,
+    warmup: float,
+    *,
+    cache: CacheServer,
+    db_stats,
+    channel_stats,
+    update_client: UpdateClient | None,
+    read_client: ReadOnlyClient,
+) -> ColumnResult:
+    """Assemble one edge's :class:`ColumnResult` from its components.
+
+    Shared by the scenario collector and the single-column shim
+    (:func:`repro.experiments.runner.collect_result`) so the two paths can
+    never drift in how metrics are extracted.
+    """
+    return ColumnResult(
+        config=config,
+        counts=measured_counts(series, warmup),
+        cache_stats=cache.stats,
+        db_stats=db_stats,
+        channel_stats=channel_stats,
+        update_client_stats=(
+            update_client.stats
+            if update_client is not None
+            else UpdateClientStats()
+        ),
+        read_client_stats=read_client.stats,
+        series=series.rates(),
+        detections_eq1=getattr(cache, "detections_eq1", 0),
+        detections_eq2=getattr(cache, "detections_eq2", 0),
+        retries_resolved=getattr(cache, "retries_resolved", 0),
+    )
+
+
+def _variance(values: list[float]) -> float:
+    """Population variance; 0.0 for fleets of one."""
+    if len(values) < 2:
+        return 0.0
+    mean = sum(values) / len(values)
+    return sum((value - mean) ** 2 for value in values) / len(values)
+
+
+def collect_scenario_result(scenario: Scenario) -> ScenarioResult:
+    """Extract a :class:`ScenarioResult` from a finished scenario."""
+    spec = scenario.spec
+    monitor = scenario.monitor
+    db_stats = scenario.database.stats
+
+    edge_results: list[ColumnResult] = []
+    for edge in scenario.edges:
+        series = monitor.source_series.get(edge.spec.name)
+        if series is None:  # edge finished no transaction at all
+            series = TimeSeries(window=spec.monitor_window)
+        edge_results.append(
+            collect_column_result(
+                spec.edge_config(edge.spec),
+                series,
+                spec.warmup,
+                cache=edge.cache,
+                db_stats=db_stats,
+                channel_stats=edge.channel.stats,
+                update_client=edge.update_client,
+                read_client=edge.read_client,
+            )
+        )
+
+    cache_reads = sum(result.cache_stats.reads for result in edge_results)
+    cache_hits = sum(result.cache_stats.hits for result in edge_results)
+    db_accesses = sum(result.cache_stats.db_accesses for result in edge_results)
+    fleet = FleetAggregates(
+        counts=measured_counts(monitor.series, spec.warmup),
+        cache_reads=cache_reads,
+        cache_hits=cache_hits,
+        db_accesses=db_accesses,
+        backend_read_rate=db_accesses / spec.total_time,
+        update_commits=db_stats.committed,
+        inconsistency_variance=_variance(
+            [result.inconsistency_ratio for result in edge_results]
+        ),
+        hit_ratio_variance=_variance(
+            [result.hit_ratio for result in edge_results]
+        ),
+    )
+    return ScenarioResult(
+        spec=spec, edges=edge_results, fleet=fleet, db_stats=db_stats
+    )

@@ -1,0 +1,297 @@
+"""Declarative description of a multi-edge topology.
+
+A :class:`ScenarioSpec` is the paper's Figure 2 generalised to a fleet: one
+transactional backend, one omniscient consistency monitor, and N edge caches
+— each an :class:`EdgeSpec` with its own cache variant, invalidation channel
+quality, and client populations. Specs are plain data validated at
+construction; building one runs nothing. :func:`repro.scenario.run_scenario`
+executes them.
+
+The legacy single-column API (:func:`repro.experiments.runner.run_column`)
+is a shim over this layer: a one-edge scenario built with
+:meth:`ScenarioSpec.from_column` reproduces the pre-scenario runner's
+results bit for bit (see the RNG naming notes in
+:mod:`repro.scenario.runner`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.cache.kinds import CacheKind
+from repro.core.deplist import UNBOUNDED
+from repro.core.strategies import Strategy
+from repro.db.database import TimingConfig
+from repro.errors import ConfigurationError
+from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.experiments.config import ColumnConfig
+
+__all__ = ["EdgeSpec", "ScenarioSpec"]
+
+#: Cache kinds that run the T-Cache consistency checks (and may therefore
+#: carry a per-edge ``deplist_limit``).
+_CHECKING_KINDS = (CacheKind.TCACHE, CacheKind.MULTIVERSION)
+
+
+@dataclass(slots=True)
+class EdgeSpec:
+    """One edge cache plus the client populations it serves.
+
+    Defaults reproduce the paper's §IV column: read-only clients at
+    500 txn/s against the cache, update clients at 100 txn/s against the
+    shared database, 20 % of invalidations dropped uniformly at random.
+    """
+
+    #: Unique name within the scenario; also names the cache, channel and
+    #: clients, and keys the per-edge monitor series.
+    name: str
+    #: Drives this edge's update clients (and, absent ``read_workload``, its
+    #: read-only clients). Its key universe is loaded into the database.
+    workload: Workload
+    #: Separate access distribution for the read-only clients.
+    read_workload: Workload | None = None
+
+    cache_kind: CacheKind = CacheKind.TCACHE
+    strategy: Strategy = Strategy.ABORT
+    #: Entry lifetime for :attr:`CacheKind.TTL`.
+    ttl: float | None = None
+    #: Optional cache capacity (None: everything fits, as in the paper).
+    cache_capacity: int | None = None
+    #: Per-edge cap on how many dependency entries the cache *consults* when
+    #: checking reads (§VII: heterogeneous list bounds). The database still
+    #: ships lists bounded by the scenario's ``deplist_max``; an edge with a
+    #: smaller limit checks only the freshest ``deplist_limit`` entries.
+    #: ``None`` consults the full shipped list.
+    deplist_limit: int | None = None
+
+    #: Aggregate update-transaction rate; 0 models a read-only region.
+    update_rate: float = 100.0
+    read_rate: float = 500.0
+    #: Client-to-cache round trip between the reads of one transaction.
+    read_gap: float = 0.001
+    #: Retry aborted read-only transactions at the client (off in the paper).
+    retry_aborted_reads: bool = False
+
+    #: Fraction of this edge's invalidations dropped (§IV: 20 %).
+    invalidation_loss: float = 0.2
+    #: Mean invalidation delivery latency (exponential), seconds.
+    invalidation_latency_mean: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("edge name must be non-empty")
+        if self.update_rate < 0 or self.read_rate <= 0:
+            raise ConfigurationError(
+                f"edge {self.name!r}: update_rate must be >= 0 and "
+                f"read_rate > 0, got {self.update_rate}/{self.read_rate}"
+            )
+        if self.read_gap < 0:
+            raise ConfigurationError(
+                f"edge {self.name!r}: read_gap must be >= 0, got {self.read_gap}"
+            )
+        if not 0.0 <= self.invalidation_loss <= 1.0:
+            raise ConfigurationError(
+                f"edge {self.name!r}: invalidation_loss must be in [0, 1], "
+                f"got {self.invalidation_loss}"
+            )
+        if self.invalidation_latency_mean < 0:
+            raise ConfigurationError(
+                f"edge {self.name!r}: invalidation_latency_mean must be >= 0, "
+                f"got {self.invalidation_latency_mean}"
+            )
+        if self.cache_kind is CacheKind.TTL and (self.ttl is None or self.ttl <= 0):
+            raise ConfigurationError(
+                f"edge {self.name!r}: CacheKind.TTL requires a positive ttl"
+            )
+        if self.cache_capacity is not None and self.cache_capacity < 1:
+            raise ConfigurationError(
+                f"edge {self.name!r}: cache_capacity must be >= 1 or None, "
+                f"got {self.cache_capacity}"
+            )
+        if self.deplist_limit is not None:
+            if self.cache_kind not in _CHECKING_KINDS:
+                raise ConfigurationError(
+                    f"edge {self.name!r}: deplist_limit only applies to "
+                    f"consistency-checking caches, not {self.cache_kind.name}"
+                )
+            if self.deplist_limit < 0:
+                raise ConfigurationError(
+                    f"edge {self.name!r}: deplist_limit must be >= 0 or None, "
+                    f"got {self.deplist_limit}"
+                )
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe description (workloads by class name, enums by name)."""
+        return {
+            "name": self.name,
+            "workload": type(self.workload).__name__,
+            "read_workload": (
+                None
+                if self.read_workload is None
+                else type(self.read_workload).__name__
+            ),
+            "cache_kind": self.cache_kind.name,
+            "strategy": self.strategy.name,
+            "ttl": self.ttl,
+            "cache_capacity": self.cache_capacity,
+            "deplist_limit": self.deplist_limit,
+            "update_rate": self.update_rate,
+            "read_rate": self.read_rate,
+            "read_gap": self.read_gap,
+            "retry_aborted_reads": self.retry_aborted_reads,
+            "invalidation_loss": self.invalidation_loss,
+            "invalidation_latency_mean": self.invalidation_latency_mean,
+        }
+
+
+@dataclass(slots=True)
+class ScenarioSpec:
+    """A fleet of edge caches in front of one transactional backend."""
+
+    name: str
+    edges: list[EdgeSpec]
+    seed: int = 1
+    #: Simulated seconds of measured run (after warm-up).
+    duration: float = 30.0
+    #: Simulated seconds before measurement starts; caches fill and the
+    #: first dependency lists propagate during warm-up.
+    warmup: float = 5.0
+    #: The paper's ``k``: the database-side dependency-list bound shared by
+    #: the fleet; :data:`~repro.core.deplist.UNBOUNDED` for Theorem 1,
+    #: 0 to disable dependency tracking.
+    deplist_max: int = 5
+    #: Dependency-list pruning order: "lru" (the paper) or the ablation
+    #: alternatives "newest-version" / "random".
+    pruning_policy: str = "lru"
+    timing: TimingConfig = field(default_factory=TimingConfig)
+    monitor_window: float = 1.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            raise ConfigurationError(
+                f"scenario {self.name!r} needs at least one edge"
+            )
+        names = [edge.name for edge in self.edges]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ConfigurationError(
+                f"scenario {self.name!r} has duplicate edge names: {duplicates}"
+            )
+        if self.duration <= 0:
+            raise ConfigurationError(
+                f"duration must be positive, got {self.duration}"
+            )
+        if self.warmup < 0:
+            raise ConfigurationError(f"warmup must be >= 0, got {self.warmup}")
+        if self.monitor_window <= 0:
+            raise ConfigurationError(
+                f"monitor_window must be positive, got {self.monitor_window}"
+            )
+        if self.deplist_max != UNBOUNDED and self.deplist_max < 0:
+            raise ConfigurationError(
+                f"deplist_max must be >= 0 or UNBOUNDED, got {self.deplist_max}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    @property
+    def total_time(self) -> float:
+        return self.warmup + self.duration
+
+    def edge(self, name: str) -> EdgeSpec:
+        """The edge spec named ``name``."""
+        for edge in self.edges:
+            if edge.name == name:
+                return edge
+        raise KeyError(f"no edge named {name!r} in scenario {self.name!r}")
+
+    @classmethod
+    def from_column(
+        cls,
+        config: "ColumnConfig",
+        workload: Workload,
+        *,
+        read_workload: Workload | None = None,
+        name: str = "column",
+    ) -> "ScenarioSpec":
+        """A one-edge scenario equivalent to a legacy single-column run.
+
+        The resulting spec executes bit-identically to the pre-scenario
+        ``run_column`` for the same config and workloads (the golden
+        equivalence asserted by the integration tests).
+        """
+        edge = EdgeSpec(
+            name="edge0",
+            workload=workload,
+            read_workload=read_workload,
+            cache_kind=config.cache_kind,
+            strategy=config.strategy,
+            ttl=config.ttl,
+            cache_capacity=config.cache_capacity,
+            update_rate=config.update_rate,
+            read_rate=config.read_rate,
+            read_gap=config.read_gap,
+            retry_aborted_reads=config.retry_aborted_reads,
+            invalidation_loss=config.invalidation_loss,
+            invalidation_latency_mean=config.invalidation_latency_mean,
+        )
+        return cls(
+            name=name,
+            edges=[edge],
+            seed=config.seed,
+            duration=config.duration,
+            warmup=config.warmup,
+            deplist_max=config.deplist_max,
+            pruning_policy=config.pruning_policy,
+            timing=config.timing,
+            monitor_window=config.monitor_window,
+        )
+
+    def edge_config(self, edge: EdgeSpec) -> "ColumnConfig":
+        """The :class:`ColumnConfig` equivalent of one edge of this scenario.
+
+        Used to stamp per-edge results with a self-describing config;
+        ``deplist_limit`` has no single-column equivalent and is carried by
+        the edge spec only.
+        """
+        from repro.experiments.config import ColumnConfig
+
+        return ColumnConfig(
+            seed=self.seed,
+            duration=self.duration,
+            warmup=self.warmup,
+            update_rate=edge.update_rate,
+            read_rate=edge.read_rate,
+            read_gap=edge.read_gap,
+            deplist_max=self.deplist_max,
+            pruning_policy=self.pruning_policy,
+            strategy=edge.strategy,
+            cache_kind=edge.cache_kind,
+            ttl=edge.ttl,
+            cache_capacity=edge.cache_capacity,
+            invalidation_loss=edge.invalidation_loss,
+            invalidation_latency_mean=edge.invalidation_latency_mean,
+            timing=self.timing,
+            monitor_window=self.monitor_window,
+            retry_aborted_reads=edge.retry_aborted_reads,
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe description of the whole topology."""
+        return {
+            "scenario": self.name,
+            "description": self.description,
+            "seed": self.seed,
+            "duration": self.duration,
+            "warmup": self.warmup,
+            "deplist_max": self.deplist_max,
+            "pruning_policy": self.pruning_policy,
+            "timing": asdict(self.timing),
+            "monitor_window": self.monitor_window,
+            "edges": [edge.as_dict() for edge in self.edges],
+        }

@@ -11,10 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import TYPE_CHECKING, Iterable, Mapping
-
-if TYPE_CHECKING:
-    from repro.core.deplist import DependencyList
+from typing import Iterable, Mapping
 
 __all__ = [
     "Key",

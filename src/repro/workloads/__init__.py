@@ -21,6 +21,8 @@ from repro.workloads.sampling import random_walk_sample
 from repro.workloads.stats import WorkloadProfile, pair_affinity, profile_workload
 from repro.workloads.synthetic import (
     DriftingClusterWorkload,
+    MixtureWorkload,
+    OffsetWorkload,
     ParetoClusterWorkload,
     PerfectClusterWorkload,
     PhaseSwitchWorkload,
@@ -32,6 +34,8 @@ from repro.workloads.walker import RandomWalkWorkload
 __all__ = [
     "DriftingClusterWorkload",
     "GraphStats",
+    "MixtureWorkload",
+    "OffsetWorkload",
     "ParetoClusterWorkload",
     "PerfectClusterWorkload",
     "PhaseSwitchWorkload",

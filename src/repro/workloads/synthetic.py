@@ -28,7 +28,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.sim.rng import BoundedPareto
 from repro.types import Key
-from repro.workloads.base import key_for
+from repro.workloads.base import index_of, key_for
 
 __all__ = [
     "PerfectClusterWorkload",
@@ -36,6 +36,8 @@ __all__ = [
     "UniformWorkload",
     "PhaseSwitchWorkload",
     "DriftingClusterWorkload",
+    "MixtureWorkload",
+    "OffsetWorkload",
 ]
 
 
@@ -150,6 +152,71 @@ class PhaseSwitchWorkload:
 
     def all_keys(self) -> Sequence[Key]:
         return self.before.all_keys()
+
+
+class OffsetWorkload:
+    """Shifts every key of an inner workload by a fixed object offset.
+
+    The multi-edge scenarios use this to give each edge region its own
+    disjoint slice of the key space: ``OffsetWorkload(inner, offset=2000)``
+    maps the inner workload's ``o000000..`` universe onto ``o002000..``.
+    """
+
+    def __init__(self, inner, offset: int) -> None:
+        if offset < 0:
+            raise ConfigurationError(f"offset must be >= 0, got {offset}")
+        self.inner = inner
+        self.offset = offset
+        self._keys = [key_for(index_of(key) + offset) for key in inner.all_keys()]
+        self._mapping = dict(zip(inner.all_keys(), self._keys))
+
+    def access_set(self, rng: np.random.Generator, now: float) -> list[Key]:
+        return [self._mapping[key] for key in self.inner.access_set(rng, now)]
+
+    def all_keys(self) -> Sequence[Key]:
+        return self._keys
+
+
+class MixtureWorkload:
+    """Chooses one of several workloads per transaction, by weight.
+
+    Models client populations whose traffic mixes distributions — e.g. a
+    geo edge whose transactions are mostly local but occasionally touch a
+    globally shared segment. The choice consumes one draw from the client's
+    random stream per transaction; each component keeps its own key
+    universe, and ``all_keys`` is their order-preserving union.
+    """
+
+    def __init__(self, components: Sequence[tuple[float, object]]) -> None:
+        if not components:
+            raise ConfigurationError("MixtureWorkload needs at least one component")
+        weights = [float(weight) for weight, _ in components]
+        if any(weight < 0 for weight in weights) or sum(weights) <= 0:
+            raise ConfigurationError(
+                f"mixture weights must be >= 0 with a positive sum, got {weights}"
+            )
+        total = sum(weights)
+        self.components = [
+            (weight / total, workload)
+            for weight, (_, workload) in zip(weights, components)
+        ]
+        keys: dict[Key, None] = {}
+        for _, workload in self.components:
+            for key in workload.all_keys():
+                keys.setdefault(key)
+        self._keys = list(keys)
+
+    def access_set(self, rng: np.random.Generator, now: float) -> list[Key]:
+        draw = rng.random()
+        cumulative = 0.0
+        for weight, workload in self.components:
+            cumulative += weight
+            if draw < cumulative:
+                return workload.access_set(rng, now)
+        return self.components[-1][1].access_set(rng, now)
+
+    def all_keys(self) -> Sequence[Key]:
+        return self._keys
 
 
 class DriftingClusterWorkload(_SyntheticBase):

@@ -1,0 +1,236 @@
+"""Golden equivalence: the scenario layer reproduces the seed runner.
+
+The scenario redesign rebuilt ``run_column``/``build_column`` as one-edge
+shims over ``run_scenario``. These tests pin the contract that made that
+safe: a hand-wired column using the *seed* wiring (the pre-scenario
+``build_column`` body, inlined here) produces bit-identical results to a
+one-edge :class:`ScenarioSpec` — for every cache kind and strategy — and
+scenario sweeps are deterministic across executors.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import asdict
+
+import pytest
+
+from repro.cache.base import CacheServer
+from repro.cache.ttl import TTLCache
+from repro.clients.read_client import ReadOnlyClient
+from repro.clients.update_client import UpdateClient
+from repro.core.multiversion import MultiversionTCache
+from repro.core.strategies import Strategy
+from repro.core.tcache import TCache
+from repro.db.database import Database, DatabaseConfig
+from repro.experiments.config import CacheKind, ColumnConfig
+from repro.experiments.sweep import SweepPoint, SweepSpec, run_sweep
+from repro.monitor.monitor import ConsistencyMonitor
+from repro.monitor.stats import CLASSES, ClassCounts
+from repro.scenario import ScenarioSpec, heterogeneous_loss_fleet, run_scenario
+from repro.sim.channel import Channel
+from repro.sim.core import Simulator
+from repro.sim.rng import RngStreams
+from repro.workloads.synthetic import PerfectClusterWorkload
+
+WORKLOAD = PerfectClusterWorkload(n_objects=200, cluster_size=5)
+
+
+def legacy_run_column(config: ColumnConfig, workload) -> dict[str, object]:
+    """The seed repo's ``run_column`` wiring, inlined verbatim.
+
+    Kept as the golden reference: if the scenario layer's single-edge path
+    ever drifts from this wiring (stream names, component order, id
+    ranges), these tests fail.
+    """
+    sim = Simulator()
+    streams = RngStreams(config.seed)
+    database = Database(
+        sim,
+        DatabaseConfig(
+            deplist_max=config.deplist_max,
+            timing=config.timing,
+            pruning_policy=config.pruning_policy,
+        ),
+    )
+    database.load({key: f"init:{key}" for key in workload.all_keys()})
+
+    if config.cache_kind is CacheKind.TCACHE:
+        cache = TCache(
+            sim, database, strategy=config.strategy, capacity=config.cache_capacity
+        )
+    elif config.cache_kind is CacheKind.MULTIVERSION:
+        cache = MultiversionTCache(sim, database, capacity=config.cache_capacity)
+    elif config.cache_kind is CacheKind.TTL:
+        cache = TTLCache(sim, database, ttl=config.ttl, capacity=config.cache_capacity)
+    else:
+        cache = CacheServer(sim, database, capacity=config.cache_capacity)
+
+    channel = Channel(
+        sim,
+        cache.handle_invalidation,
+        latency=lambda rng: float(rng.exponential(config.invalidation_latency_mean)),
+        loss_probability=config.invalidation_loss,
+        rng=streams.stream("invalidation-channel"),
+        name="invalidations",
+    )
+    database.register_invalidation_channel(channel)
+
+    monitor = ConsistencyMonitor(sim, window=config.monitor_window)
+    database.add_commit_listener(monitor.record_update)
+    cache.add_transaction_listener(monitor.record_read_only)
+
+    update_client = UpdateClient(
+        sim,
+        database,
+        workload,
+        rate=config.update_rate,
+        rng=streams.stream("update-client"),
+    )
+    read_client = ReadOnlyClient(
+        sim,
+        cache,
+        workload,
+        rate=config.read_rate,
+        rng=streams.stream("read-client"),
+        txn_ids=itertools.count(1),
+        read_gap=config.read_gap,
+        retry_aborted=config.retry_aborted_reads,
+    )
+    sim.run(until=config.total_time)
+
+    measured = ClassCounts()
+    for start, counts in monitor.series.buckets():
+        if start >= config.warmup:
+            for label in CLASSES:
+                setattr(measured, label, getattr(measured, label) + getattr(counts, label))
+    return {
+        "counts": measured.as_dict(),
+        "series": monitor.series.rates(),
+        "cache_stats": asdict(cache.stats),
+        "db_stats": asdict(database.stats),
+        "channel_stats": asdict(channel.stats),
+        "update_client_stats": asdict(update_client.stats),
+        "read_client_stats": asdict(read_client.stats),
+        "detections": (
+            getattr(cache, "detections_eq1", 0),
+            getattr(cache, "detections_eq2", 0),
+            getattr(cache, "retries_resolved", 0),
+        ),
+    }
+
+
+def scenario_view(config: ColumnConfig, workload) -> dict[str, object]:
+    """The same metrics via a one-edge scenario's per-edge result."""
+    result = run_scenario(ScenarioSpec.from_column(config, workload))
+    edge = result.edges[0]
+    return {
+        "counts": edge.counts.as_dict(),
+        "series": edge.series,
+        "cache_stats": asdict(edge.cache_stats),
+        "db_stats": asdict(edge.db_stats),
+        "channel_stats": asdict(edge.channel_stats),
+        "update_client_stats": asdict(edge.update_client_stats),
+        "read_client_stats": asdict(edge.read_client_stats),
+        "detections": (
+            edge.detections_eq1,
+            edge.detections_eq2,
+            edge.retries_resolved,
+        ),
+    }
+
+
+def quick_config(**overrides) -> ColumnConfig:
+    defaults = dict(seed=42, duration=3.0, warmup=1.0)
+    defaults.update(overrides)
+    return ColumnConfig(**defaults)
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            pytest.param(
+                {
+                    "cache_kind": kind,
+                    "strategy": strategy,
+                    **({"ttl": 0.5} if kind is CacheKind.TTL else {}),
+                },
+                id=f"{kind.name.lower()}-{strategy.name.lower()}",
+            )
+            for kind in CacheKind
+            for strategy in Strategy
+            # Only TCACHE consumes the strategy knob (MULTIVERSION pins
+            # RETRY, PLAIN/TTL never abort); one strategy value covers each
+            # of the other kinds.
+            if kind is CacheKind.TCACHE or strategy is Strategy.ABORT
+        ],
+    )
+    def test_one_edge_scenario_matches_seed_runner(self, overrides) -> None:
+        config = quick_config(**overrides)
+        golden = legacy_run_column(config, WORKLOAD)
+        scenario = scenario_view(config, WORKLOAD)
+        assert json.dumps(golden, sort_keys=True) == json.dumps(
+            scenario, sort_keys=True
+        )
+
+    def test_quickstart_config_matches_seed_runner(self) -> None:
+        """The README/quickstart configuration, at reduced duration."""
+        workload = PerfectClusterWorkload(n_objects=1000, cluster_size=5)
+        config = ColumnConfig(
+            seed=7,
+            duration=5.0,
+            warmup=1.0,
+            deplist_max=5,
+            strategy=Strategy.EVICT,
+            invalidation_loss=0.2,
+        )
+        golden = legacy_run_column(config, workload)
+        scenario = scenario_view(config, workload)
+        assert golden == scenario
+
+
+class TestScenarioSweepDeterminism:
+    def sweep_spec(self) -> SweepSpec:
+        return SweepSpec(
+            name="fleet-grid",
+            root_seed=5,
+            points=[
+                SweepPoint(
+                    label=f"loss={loss:g}",
+                    scenario=heterogeneous_loss_fleet(
+                        edges=3,
+                        max_loss=loss,
+                        n_objects=200,
+                        duration=1.5,
+                        warmup=0.5,
+                        seed=5,
+                        read_rate=200.0,
+                        update_rate=50.0,
+                    ),
+                    params={"max_loss": loss},
+                )
+                for loss in (0.2, 0.6)
+            ],
+        )
+
+    def test_serial_and_parallel_sweeps_identical(self) -> None:
+        serial = run_sweep(self.sweep_spec(), jobs=1)
+        parallel = run_sweep(self.sweep_spec(), jobs=2)
+        left = [result.to_artifact() for result in serial.results]
+        right = [result.to_artifact() for result in parallel.results]
+        assert json.dumps(left, sort_keys=True) == json.dumps(right, sort_keys=True)
+
+    def test_rerun_is_deterministic(self) -> None:
+        first = run_scenario(
+            heterogeneous_loss_fleet(
+                edges=3, n_objects=200, duration=1.5, warmup=0.5
+            )
+        )
+        second = run_scenario(
+            heterogeneous_loss_fleet(
+                edges=3, n_objects=200, duration=1.5, warmup=0.5
+            )
+        )
+        assert first.to_artifact() == second.to_artifact()

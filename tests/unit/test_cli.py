@@ -13,7 +13,7 @@ class TestCli:
     def test_experiment_registry_covers_every_figure(self) -> None:
         assert set(EXPERIMENTS) == {
             "fig3", "fig4", "fig5", "fig6", "fig7ab", "fig7c", "fig7d",
-            "fig8", "theorem1", "sensitivity",
+            "fig8", "theorem1", "sensitivity", "scenario",
         }
 
     def test_unknown_experiment_rejected(self, capsys) -> None:
@@ -59,6 +59,45 @@ class TestCli:
         assert workloads == {"amazon", "orkut"}
         # fig7ab is pure graph analysis: no simulation grid behind it.
         assert experiment["sweep_specs"] == []
+
+    def test_scenario_experiment_emits_per_edge_and_aggregate_json(
+        self, tmp_path, capsys
+    ) -> None:
+        """A >=3-edge heterogeneous-loss fleet, end to end from the CLI."""
+        path = tmp_path / "scenario.json"
+        assert main(
+            ["scenario", "--duration", "1", "--edges", "3", "--jobs", "2",
+             "--json", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per-edge view" in out and "fleet aggregates" in out
+
+        import json as json_module
+
+        with open(path) as handle:
+            payload = json_module.load(handle)
+        (experiment,) = payload["experiments"]
+        per_edge, per_fleet = experiment["sections"]
+        fleet_rows = [
+            row for row in per_edge["rows"] if row["scenario"] == "hetero-loss"
+        ]
+        assert len(fleet_rows) == 3
+        losses = [row["loss_pct"] for row in fleet_rows]
+        assert losses == sorted(losses) and losses[0] != losses[-1]
+        aggregate = next(
+            row for row in per_fleet["rows"] if row["scenario"] == "hetero-loss"
+        )
+        assert aggregate["edges"] == 3
+        assert "backend_reads_per_s" in aggregate
+        # The sweep spec records the whole topology per point.
+        spec = experiment["sweep_specs"][0]
+        scenario_column = spec["columns"][0]
+        assert len(scenario_column["scenario"]["edges"]) == 3
+
+    def test_invalid_edges_rejected(self, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scenario", "--edges", "0"])
+        assert excinfo.value.code == 2
 
     def test_json_artifact_embeds_sweep_configs(self, tmp_path) -> None:
         path = tmp_path / "fig3.json"

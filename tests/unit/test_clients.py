@@ -145,6 +145,76 @@ class TestReadOnlyClient:
         assert client.stats.retried_transactions >= 1
         assert client.stats.committed >= 1
 
+    def test_retry_accounting_counts_logical_transactions_once(self, sim) -> None:
+        """A retried transaction launches once; retries show up in attempts.
+
+        Regression test: launches used to be re-counted per attempt, so
+        ``committed + aborted`` could exceed ``launched``.
+        """
+        backend = FakeBackend({"a": "a0", "b": "b0"})
+        cache = TCache(sim, backend, strategy=Strategy.EVICT)
+        cache.read(999, "a", last_op=True)
+        backend.commit(["a", "b"])
+        cache.storage.evict("b")
+
+        class PairWorkload:
+            def access_set(self, rng, now):
+                return ["b", "a"]
+
+            def all_keys(self):
+                return ["a", "b"]
+
+        client = ReadOnlyClient(
+            sim,
+            cache,
+            PairWorkload(),
+            rate=10.0,
+            rng=np.random.default_rng(9),
+            txn_ids=itertools.count(1),
+            read_gap=0.0,
+            poisson=False,
+            retry_aborted=True,
+        )
+        sim.run(until=0.55)
+        stats = client.stats
+        assert stats.retried_transactions >= 1
+        assert stats.attempts == stats.launched + stats.retried_transactions
+        assert stats.committed + stats.aborted <= stats.launched
+        assert stats.attempts > stats.launched
+
+    def test_aborted_counts_only_exhausted_transactions(self, sim) -> None:
+        """With retries disabled every abort is final: the legacy equality
+        ``committed + aborted == launched`` (for finished transactions) and
+        ``attempts == launched`` still hold."""
+        backend = FakeBackend({"a": "a0", "b": "b0"})
+        cache = TCache(sim, backend, strategy=Strategy.ABORT)
+        cache.read(999, "a", last_op=True)
+        backend.commit(["a", "b"])
+        cache.storage.evict("b")
+
+        class PairWorkload:
+            def access_set(self, rng, now):
+                return ["b", "a"]
+
+            def all_keys(self):
+                return ["a", "b"]
+
+        client = ReadOnlyClient(
+            sim,
+            cache,
+            PairWorkload(),
+            rate=10.0,
+            rng=np.random.default_rng(10),
+            txn_ids=itertools.count(1),
+            read_gap=0.0,
+            poisson=False,
+        )
+        sim.run(until=0.55)
+        stats = client.stats
+        assert stats.aborted >= 1
+        assert stats.attempts == stats.launched
+        assert stats.committed + stats.aborted == stats.launched
+
     def test_txn_ids_are_unique(self, sim, db) -> None:
         workload = UniformWorkload(n_objects=50)
         cache = self.make_cache(sim, db)

@@ -84,9 +84,20 @@ class TestRunnerWiring:
         column = build_column(config, workload)
         # The database knows the invalidation channel.
         assert column.channel in column.database._invalidation_channels
-        # Monitor taps both streams.
+        # Monitor taps both streams (the cache side through the scenario
+        # layer's source-tagging wrapper, so assert behaviourally).
         assert column.monitor.record_update in column.database._commit_listeners
-        assert column.monitor.record_read_only in column.cache._txn_listeners
+        from repro.types import ReadOnlyTransactionRecord, TransactionOutcome
+
+        record = ReadOnlyTransactionRecord(
+            txn_id=999_999, outcome=TransactionOutcome.COMMITTED
+        )
+        before = column.monitor.summary.read_only.total
+        for listener in column.cache._txn_listeners:
+            listener(record)
+        assert column.monitor.summary.read_only.total == before + 1
+        # The wrapper tags the records with the (single) edge's name.
+        assert set(column.monitor.source_summaries) == {"edge0"}
         # All keys are loaded.
         assert column.database.read_entry(workload.all_keys()[0]).version == 0
 

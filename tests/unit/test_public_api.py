@@ -28,6 +28,18 @@ class TestPublicAPI:
         assert repro.run_column is run_column
         assert repro.SerializationGraphTester is SerializationGraphTester
 
+    def test_historical_paths_still_canonical_after_moves(self) -> None:
+        """The scenario redesign moved these; old import paths must keep
+        resolving to the same objects."""
+        from repro.cache.kinds import CacheKind
+        from repro.experiments.config import CacheKind as LegacyCacheKind
+        from repro.experiments.runner import ColumnResult as LegacyColumnResult
+        from repro.scenario.results import ColumnResult
+
+        assert LegacyCacheKind is CacheKind
+        assert LegacyColumnResult is ColumnResult
+        assert repro.ColumnResult is ColumnResult
+
     @pytest.mark.parametrize(
         "module_name",
         [
@@ -39,6 +51,7 @@ class TestPublicAPI:
             "repro.workloads",
             "repro.clients",
             "repro.experiments",
+            "repro.scenario",
         ],
     )
     def test_subpackages_have_docstrings(self, module_name: str) -> None:

@@ -42,6 +42,61 @@ def tiny_spec(n_points: int = 3, duration: float = 1.0) -> SweepSpec:
     )
 
 
+class TestPointValidation:
+    def test_column_point_requires_config_and_workload(self) -> None:
+        with pytest.raises(ConfigurationError):
+            SweepPoint(label="bare")
+        with pytest.raises(ConfigurationError):
+            SweepPoint(label="no-workload", config=ColumnConfig(seed=1))
+
+    def test_scenario_point_excludes_column_fields(self) -> None:
+        from repro.scenario import heterogeneous_loss_fleet
+
+        scenario = heterogeneous_loss_fleet(edges=2, duration=1.0)
+        point = SweepPoint(label="fleet", scenario=scenario)
+        assert point.scenario is scenario
+        with pytest.raises(ConfigurationError):
+            SweepPoint(
+                label="both",
+                scenario=scenario,
+                config=ColumnConfig(seed=1),
+                workload=PerfectClusterWorkload(n_objects=100, cluster_size=5),
+            )
+
+
+class TestScenarioPoints:
+    def test_mixed_sweep_executes_both_point_kinds(self) -> None:
+        from repro.scenario import ScenarioResult, heterogeneous_loss_fleet
+        from repro.experiments.runner import ColumnResult
+
+        workload = PerfectClusterWorkload(n_objects=100, cluster_size=5)
+        spec = SweepSpec(
+            name="mixed",
+            points=[
+                SweepPoint(
+                    label="column",
+                    config=ColumnConfig(seed=1, duration=1.0, warmup=0.5),
+                    workload=workload,
+                ),
+                SweepPoint(
+                    label="fleet",
+                    scenario=heterogeneous_loss_fleet(
+                        edges=2, n_objects=100, duration=1.0, warmup=0.5
+                    ),
+                ),
+            ],
+        )
+        sweep = run_sweep(spec, jobs=1)
+        assert isinstance(sweep.result_for("column"), ColumnResult)
+        assert isinstance(sweep.result_for("fleet"), ScenarioResult)
+
+        artifact = json.loads(json.dumps(sweep.to_artifact()))
+        column, fleet = artifact["columns"]
+        assert "counts" in column and "config" in column
+        assert "result" in fleet and "scenario" in fleet
+        assert len(fleet["result"]["edges"]) == 2
+
+
 class TestSpecValidation:
     def test_duplicate_labels_rejected(self) -> None:
         point = tiny_spec(1).points[0]
