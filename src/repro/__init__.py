@@ -50,6 +50,8 @@ from repro.experiments.config import CacheKind, ColumnConfig
 from repro.experiments.runner import ColumnResult, build_column, run_column
 from repro.monitor.monitor import ConsistencyMonitor
 from repro.scenario import (
+    BackendAggregates,
+    BackendSpec,
     EdgeSpec,
     FleetAggregates,
     ScenarioResult,
@@ -58,6 +60,8 @@ from repro.scenario import (
     flash_crowd_scenario,
     geo_skewed_scenario,
     heterogeneous_loss_fleet,
+    hot_backend_overload,
+    regional_backends_scenario,
     run_scenario,
 )
 from repro.monitor.sgt import SerializationGraphTester
@@ -78,6 +82,8 @@ from repro.workloads.walker import RandomWalkWorkload
 __version__ = "1.1.0"
 
 __all__ = [
+    "BackendAggregates",
+    "BackendSpec",
     "BoundedPareto",
     "CacheKind",
     "CacheServer",
@@ -124,7 +130,9 @@ __all__ = [
     "flash_crowd_scenario",
     "geo_skewed_scenario",
     "heterogeneous_loss_fleet",
+    "hot_backend_overload",
     "orkut_like_graph",
+    "regional_backends_scenario",
     "random_walk_sample",
     "run_column",
     "run_scenario",

@@ -20,6 +20,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Protocol
 
+from repro.errors import SimulationError
 from repro.sim.core import Simulator
 
 if TYPE_CHECKING:
@@ -159,6 +160,11 @@ class CacheServer:
     ) -> None:
         self._sim = sim
         self._backend = backend
+        #: Version namespace of the backend this cache reads from; ``None``
+        #: for backends (test doubles) that don't declare one. Versions are
+        #: only comparable within one namespace, so every dependency check
+        #: this cache performs is implicitly keyed by ``(backend, version)``.
+        self.backend_namespace: str | None = getattr(backend, "namespace", None)
         self.name = name
         self.storage = CacheStorage(ttl=ttl, capacity=capacity)
         self.stats = self.storage.stats
@@ -176,7 +182,24 @@ class CacheServer:
         self._txn_listeners.append(listener)
 
     def handle_invalidation(self, record: InvalidationRecord) -> None:
-        """Invalidation upcall registered with the database (§IV)."""
+        """Invalidation upcall registered with the database (§IV).
+
+        In a routed backend tier each cache subscribes to its own backend's
+        stream only; a record stamped with a foreign version namespace means
+        the wiring crossed backends, and honouring it would compare
+        incomparable versions — so it is rejected loudly.
+        """
+        namespace = getattr(record, "namespace", None)
+        if (
+            self.backend_namespace is not None
+            and namespace is not None
+            and namespace != self.backend_namespace
+        ):
+            raise SimulationError(
+                f"cache {self.name!r} (backend namespace "
+                f"{self.backend_namespace!r}) received an invalidation from "
+                f"namespace {namespace!r}"
+            )
         self.stats.invalidations_received += 1
         if self.storage.invalidate(record.key, record.version):
             self.stats.invalidations_applied += 1

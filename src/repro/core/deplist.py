@@ -43,7 +43,12 @@ from typing import Callable, Iterable, Iterator, Mapping, Sequence
 from repro.errors import ConfigurationError
 from repro.types import DepEntry, Key, Version
 
-__all__ = ["DependencyList", "UNBOUNDED", "PRUNING_POLICIES"]
+__all__ = [
+    "DependencyList",
+    "UNBOUNDED",
+    "PRUNING_POLICIES",
+    "validate_pruning_policy",
+]
 
 #: Sentinel maximum length meaning "never prune" (Theorem 1 configuration).
 UNBOUNDED: int = -1
@@ -69,6 +74,24 @@ _PRUNING_POLICIES: dict[str, Callable[..., tuple]] = {
 
 #: Public view of the available pruning policies (the ablation axis).
 PRUNING_POLICIES: tuple[str, ...] = tuple(sorted(_PRUNING_POLICIES))
+
+
+def validate_pruning_policy(policy: str, *, owner: str = "") -> str:
+    """Reject unknown pruning policies at configuration time.
+
+    Shared by every config dataclass that carries a policy knob
+    (``DatabaseConfig``, ``ColumnConfig``, ``ScenarioSpec``,
+    ``BackendSpec``) so a typo fails where it is written, not deep inside
+    dependency-list pruning. ``owner`` prefixes the message with the
+    offending config's identity. Returns the policy unchanged.
+    """
+    if policy not in _PRUNING_POLICIES:
+        prefix = f"{owner}: " if owner else ""
+        raise ConfigurationError(
+            f"{prefix}unknown pruning policy {policy!r}; choose from "
+            f"{sorted(_PRUNING_POLICIES)}"
+        )
+    return policy
 
 
 class DependencyList:

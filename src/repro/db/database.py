@@ -11,10 +11,11 @@ dependency semantics and the consistency monitor's serialization-graph tests.
 from __future__ import annotations
 
 import itertools
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
-from repro.core.deplist import UNBOUNDED
+from repro.core.deplist import UNBOUNDED, validate_pruning_policy
 from repro.db.coordinator import Coordinator, TimingProfile, TransactionHandle
 from repro.db.invalidation import InvalidationRecord
 from repro.db.participant import Participant
@@ -56,6 +57,7 @@ class DatabaseConfig:
             raise ConfigurationError(
                 f"deplist_max must be >= 0 or UNBOUNDED, got {self.deplist_max}"
             )
+        validate_pruning_policy(self.pruning_policy)
 
 
 @dataclass(slots=True)
@@ -225,6 +227,7 @@ class Database:
                 version=entry.version,
                 txn_id=committed.txn_id,
                 commit_time=self._sim.now,
+                namespace=self.namespace,
             )
             for channel in self._invalidation_channels:
                 channel.send(record)
@@ -243,11 +246,28 @@ class Database:
     # Topology and versions
     # ------------------------------------------------------------------
 
+    @property
+    def namespace(self) -> str:
+        """This backend's version namespace (its configured name).
+
+        Versions are commit-sequence numbers allocated per backend, so they
+        are only ordered within one namespace; the consistency monitor keys
+        serialization-graph edges by ``(namespace, version)`` and caches
+        reject invalidations stamped with a foreign namespace.
+        """
+        return self.config.name
+
     def shard_for(self, key: Key) -> Participant:
-        """The participant that stores ``key`` (stable hash placement)."""
+        """The participant that stores ``key`` (stable hash placement).
+
+        Uses CRC-32 of the encoded key, not builtin ``hash``: the builtin
+        is salted per process, which would place keys differently in every
+        ``multiprocessing`` sweep worker and break the serial ≡ parallel
+        determinism guarantee for multi-shard backends.
+        """
         if len(self.participants) == 1:
             return self.participants[0]
-        index = hash(key) % len(self.participants)
+        index = zlib.crc32(key.encode("utf-8")) % len(self.participants)
         return self.participants[index]
 
     def _allocate_version(self) -> Version:

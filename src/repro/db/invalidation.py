@@ -28,3 +28,7 @@ class InvalidationRecord:
     version: Version
     txn_id: TxnId
     commit_time: float
+    #: Version namespace of the issuing backend. Versions from different
+    #: backends are incomparable, so a cache only honours invalidations
+    #: stamped with its own backend's namespace (mis-wiring is an error).
+    namespace: str = "db"

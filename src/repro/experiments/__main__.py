@@ -6,13 +6,17 @@ series it plots, and optionally write a machine-readable artifact::
     python -m repro.experiments fig3
     python -m repro.experiments fig7c --duration 20 --jobs 4
     python -m repro.experiments fig8 --jobs 4 --json fig8.json
-    python -m repro.experiments scenario --edges 4 --json fleets.json
+    python -m repro.experiments scenario --edges 4 --backends 2 --json fleets.json
+    python -m repro.experiments scenario --spec saved-scenario.json
     python -m repro.experiments all --duration 15
 
 Experiment ids: fig3, fig4, fig5, fig6, fig7ab, fig7c, fig7d, fig8,
 theorem1, sensitivity, scenario.  ``scenario`` runs the multi-edge library
 fleets (heterogeneous loss ramp sized by ``--edges``, geo-skewed regions,
-flash crowd) and reports per-edge rows plus fleet aggregates.  ``--jobs``
+flash crowd, plus — with ``--backends >= 2`` — the routed backend tiers)
+and reports per-edge rows, per-backend rows and fleet aggregates;
+``scenario --spec file.json`` instead replays one scenario recorded with
+``ScenarioSpec.as_dict`` (e.g. from a ``--json`` artifact).  ``--jobs``
 defaults to every available CPU; ``--jobs 1`` runs serially and produces
 identical series for the same root seed.
 """
@@ -186,13 +190,32 @@ def _run_theorem1(duration: float, jobs: int):
     return sections, [theorem1.spec(duration=duration)]
 
 
-def _run_scenario(duration: float, jobs: int, edges: int = 3):
-    per_edge, per_fleet = scenarios.run(edges=edges, duration=duration, jobs=jobs)
+def _run_scenario(
+    duration: float,
+    jobs: int,
+    edges: int = 3,
+    backends: int = 2,
+    spec_path: str | None = None,
+    spec_duration: float | None = None,
+):
+    if spec_path is not None:
+        # An explicit --duration overrides the recorded duration; without
+        # it the replay honours what the spec file says.
+        sweep_spec, per_edge, per_backend, per_fleet = scenarios.run_spec_file(
+            spec_path, duration=spec_duration, jobs=jobs
+        )
+        specs = [sweep_spec]
+    else:
+        per_edge, per_backend, per_fleet = scenarios.run(
+            edges=edges, backends=backends, duration=duration, jobs=jobs
+        )
+        specs = [scenarios.spec(edges=edges, backends=backends, duration=duration)]
     sections = [
         _section("Scenarios: per-edge view", per_edge),
+        _section("Scenarios: per-backend view", per_backend),
         _section("Scenarios: fleet aggregates", per_fleet),
     ]
-    return sections, [scenarios.spec(edges=edges, duration=duration)]
+    return sections, specs
 
 
 def _run_sensitivity(duration: float, jobs: int):
@@ -246,8 +269,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--duration",
         type=float,
-        default=30.0,
-        help="measured simulated seconds per run (default: 30, the paper scale)",
+        default=None,
+        help="measured simulated seconds per run (default: 30, the paper "
+        "scale; in `scenario --spec` replays the default is the recorded "
+        "duration)",
     )
     parser.add_argument(
         "--jobs",
@@ -263,6 +288,22 @@ def main(argv: list[str] | None = None) -> int:
         "(default: 3; ignored by the figure experiments)",
     )
     parser.add_argument(
+        "--backends",
+        type=int,
+        default=2,
+        help="backend count for the scenario experiment's routed-tier "
+        "fleets (default: 2; 1 disables them; ignored by the figure "
+        "experiments)",
+    )
+    parser.add_argument(
+        "--spec",
+        dest="spec_path",
+        metavar="PATH",
+        default=None,
+        help="replay one scenario from a ScenarioSpec.as_dict JSON file "
+        "(scenario experiment only; overrides --edges/--backends)",
+    )
+    parser.add_argument(
         "--json",
         dest="json_path",
         metavar="PATH",
@@ -271,8 +312,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     jobs = resolve_jobs(args.jobs)
+    duration = 30.0 if args.duration is None else args.duration
     if args.edges < 1:
         parser.error(f"--edges: need at least one edge, got {args.edges}")
+    if args.backends < 1:
+        parser.error(
+            f"--backends: need at least one backend, got {args.backends}"
+        )
+    if args.spec_path is not None:
+        if args.experiment != "scenario":
+            parser.error("--spec only applies to the scenario experiment")
+        if not os.path.isfile(args.spec_path):
+            parser.error(f"--spec: no such file: {args.spec_path}")
     if args.json_path:
         # Fail before the sweeps run, not after minutes of simulation.
         if os.path.isdir(args.json_path):
@@ -288,9 +339,20 @@ def main(argv: list[str] | None = None) -> int:
     for name in selected:
         start = time.perf_counter()
         if name == "scenario":
-            sections, specs = EXPERIMENTS[name](args.duration, jobs, edges=args.edges)
+            sections, specs = EXPERIMENTS[name](
+                duration,
+                jobs,
+                edges=args.edges,
+                backends=args.backends,
+                spec_path=args.spec_path,
+                spec_duration=args.duration,
+            )
+            if args.spec_path is not None and args.duration is None:
+                # The replay honoured the recorded duration; make the
+                # artifact metadata report what was actually simulated.
+                duration = specs[0].points[0].scenario.duration
         else:
-            sections, specs = EXPERIMENTS[name](args.duration, jobs)
+            sections, specs = EXPERIMENTS[name](duration, jobs)
         elapsed = time.perf_counter() - start
         for section in sections:
             stride = section.get("stride", 1)
@@ -310,7 +372,7 @@ def main(argv: list[str] | None = None) -> int:
             args.json_path,
             {
                 "schema": ARTIFACT_SCHEMA,
-                "duration": args.duration,
+                "duration": duration,
                 "jobs": jobs,
                 "experiments": payloads,
             },

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 # scenario specs can name cache variants without importing the experiment
 # harness; it is re-exported here under its historical path.
 from repro.cache.kinds import CacheKind
-from repro.core.deplist import UNBOUNDED
+from repro.core.deplist import UNBOUNDED, validate_pruning_policy
 from repro.core.strategies import Strategy
 from repro.db.database import TimingConfig
 from repro.errors import ConfigurationError
@@ -76,6 +76,7 @@ class ColumnConfig:
             raise ConfigurationError(
                 f"deplist_max must be >= 0 or UNBOUNDED, got {self.deplist_max}"
             )
+        validate_pruning_policy(self.pruning_policy)
         if self.cache_kind is CacheKind.TTL and (self.ttl is None or self.ttl <= 0):
             raise ConfigurationError("CacheKind.TTL requires a positive ttl")
 
@@ -83,15 +84,20 @@ class ColumnConfig:
     def total_time(self) -> float:
         return self.warmup + self.duration
 
-    def as_scenario(self, workload, *, read_workload=None, name: str = "column"):
+    def as_scenario(
+        self, workload, *, read_workload=None, name: str = "column", backends=None
+    ):
         """This config as a one-edge :class:`~repro.scenario.spec.ScenarioSpec`.
 
-        The scenario executes bit-identically to ``run_column`` with the
-        same arguments; use it as the starting point for growing a
-        single-column experiment into a fleet.
+        With the default backend tier the scenario executes bit-identically
+        to ``run_column`` with the same arguments; use it as the starting
+        point for growing a single-column experiment into a fleet, or pass
+        ``backends=[BackendSpec(...)]`` to re-run the column against a
+        custom (e.g. sharded) backend.
         """
         from repro.scenario.spec import ScenarioSpec
 
         return ScenarioSpec.from_column(
-            self, workload, read_workload=read_workload, name=name
+            self, workload, read_workload=read_workload, name=name,
+            backends=backends,
         )

@@ -1,54 +1,113 @@
 """Multi-edge scenario experiments for the CLI (``scenario`` experiment).
 
 Runs the library fleets — a heterogeneous-loss fleet sized by ``--edges``,
-the geo-skewed regions, and the flash-crowd surge — as one sweep of scenario
-points, then reports two views: per-edge rows (which edge hurts and why) and
-fleet aggregates (what the whole deployment looks like from the backend).
+the geo-skewed regions, the flash-crowd surge, and (with ``--backends >=
+2``) the routed backend tiers (regional backends, hot-backend overload) —
+as one sweep of scenario points, then reports three views: per-edge rows
+(which edge hurts and why), per-backend rows (which backend carries the
+load), and fleet aggregates (what the whole deployment looks like).
+
+``run_spec_file`` replays a single scenario from a JSON artifact
+(``repro-experiments scenario --spec file.json``) — the round-trip partner
+of :meth:`~repro.scenario.spec.ScenarioSpec.as_dict`.
 """
 
 from __future__ import annotations
+
+import json
 
 from repro.experiments.sweep import SweepPoint, SweepSpec, run_sweep
 from repro.scenario.library import (
     flash_crowd_scenario,
     geo_skewed_scenario,
     heterogeneous_loss_fleet,
+    hot_backend_overload,
+    regional_backends_scenario,
 )
 from repro.scenario.results import ScenarioResult
+from repro.scenario.spec import ScenarioSpec
 
-__all__ = ["spec", "run", "edge_rows", "fleet_rows"]
+__all__ = [
+    "spec",
+    "run",
+    "run_spec_file",
+    "backend_rows",
+    "edge_rows",
+    "fleet_rows",
+]
 
 
-def spec(*, edges: int = 3, duration: float = 30.0, seed: int = 101) -> SweepSpec:
-    """One sweep over the three library fleets (scenario points)."""
+def spec(
+    *,
+    edges: int = 3,
+    backends: int = 2,
+    duration: float = 30.0,
+    seed: int = 101,
+) -> SweepSpec:
+    """One sweep over the library fleets (scenario points).
+
+    ``backends >= 2`` adds the routed-tier scenarios (regional backends and
+    hot-backend overload, each sized by ``backends``); ``backends=1`` keeps
+    the historical single-backend grid.
+    """
     warmup = max(1.0, duration / 6.0)
+    points = [
+        SweepPoint(
+            label="hetero-loss",
+            scenario=heterogeneous_loss_fleet(
+                edges=edges, duration=duration, warmup=warmup, seed=seed
+            ),
+            params={"edges": edges},
+        ),
+        SweepPoint(
+            label="geo-skew",
+            scenario=geo_skewed_scenario(
+                duration=duration, warmup=warmup, seed=seed + 1
+            ),
+            params={"regions": 3},
+        ),
+        SweepPoint(
+            label="flash-crowd",
+            scenario=flash_crowd_scenario(
+                duration=duration, warmup=warmup, seed=seed + 2
+            ),
+            params={"quiet_edges": 2},
+        ),
+    ]
+    if backends >= 2:
+        points.append(
+            SweepPoint(
+                label="regional-backends",
+                scenario=regional_backends_scenario(
+                    regions=backends,
+                    edges_per_region=max(2, edges // backends),
+                    duration=duration,
+                    warmup=warmup,
+                    seed=seed + 3,
+                ),
+                params={"backends": backends},
+            )
+        )
+        points.append(
+            SweepPoint(
+                label="hot-backend",
+                scenario=hot_backend_overload(
+                    backends=backends,
+                    duration=duration,
+                    warmup=warmup,
+                    seed=seed + 4,
+                ),
+                params={"backends": backends},
+            )
+        )
     return SweepSpec(
         name="scenarios",
-        description="multi-edge topologies: loss ramp, geo skew, flash crowd",
+        description=(
+            "multi-edge topologies: loss ramp, geo skew, flash crowd"
+            + (", regional backends, hot backend" if backends >= 2 else "")
+        ),
         root_seed=seed,
-        points=[
-            SweepPoint(
-                label="hetero-loss",
-                scenario=heterogeneous_loss_fleet(
-                    edges=edges, duration=duration, warmup=warmup, seed=seed
-                ),
-                params={"edges": edges},
-            ),
-            SweepPoint(
-                label="geo-skew",
-                scenario=geo_skewed_scenario(
-                    duration=duration, warmup=warmup, seed=seed + 1
-                ),
-                params={"regions": 3},
-            ),
-            SweepPoint(
-                label="flash-crowd",
-                scenario=flash_crowd_scenario(
-                    duration=duration, warmup=warmup, seed=seed + 2
-                ),
-                params={"quiet_edges": 2},
-            ),
-        ],
+        points=points,
     )
 
 
@@ -60,6 +119,7 @@ def edge_rows(label: str, result: ScenarioResult) -> list[dict[str, object]]:
             {
                 "scenario": label,
                 "edge": edge_spec.name,
+                "backend": result.spec.placement[edge_spec.name],
                 "loss_pct": round(100.0 * edge_spec.invalidation_loss, 1),
                 "read_rate": edge_spec.read_rate,
                 "update_rate": edge_spec.update_rate,
@@ -72,13 +132,32 @@ def edge_rows(label: str, result: ScenarioResult) -> list[dict[str, object]]:
     return rows
 
 
+def backend_rows(label: str, result: ScenarioResult) -> list[dict[str, object]]:
+    """One row per backend: its share of the tier's load and staleness."""
+    return [
+        {
+            "scenario": label,
+            "backend": aggregate.name,
+            "edges": len(aggregate.edges),
+            "shards": result.spec.backend(aggregate.name).shards,
+            "update_commits": aggregate.update_commits,
+            "read_load_per_s": round(aggregate.read_load, 1),
+            "invalidations_sent": aggregate.db_stats.invalidations_sent,
+            "inconsistency_pct": round(100.0 * aggregate.inconsistency_ratio, 2),
+            "detection_pct": round(100.0 * aggregate.detection_ratio, 1),
+        }
+        for aggregate in result.backends
+    ]
+
+
 def fleet_rows(label: str, result: ScenarioResult) -> list[dict[str, object]]:
-    """One aggregate row per scenario: the backend's view of the fleet."""
+    """One aggregate row per scenario: the tier's view of the fleet."""
     fleet = result.fleet
     return [
         {
             "scenario": label,
             "edges": len(result.spec),
+            "backends": len(result.spec.backends),
             "inconsistency_pct": round(100.0 * fleet.inconsistency_ratio, 2),
             "detection_pct": round(100.0 * fleet.detection_ratio, 1),
             "hit_pct": round(100.0 * fleet.hit_ratio, 1),
@@ -90,18 +169,71 @@ def fleet_rows(label: str, result: ScenarioResult) -> list[dict[str, object]]:
     ]
 
 
+def _views(
+    pairs: list[tuple[str, ScenarioResult]],
+) -> tuple[
+    list[dict[str, object]], list[dict[str, object]], list[dict[str, object]]
+]:
+    per_edge: list[dict[str, object]] = []
+    per_backend: list[dict[str, object]] = []
+    per_fleet: list[dict[str, object]] = []
+    for label, result in pairs:
+        per_edge.extend(edge_rows(label, result))
+        per_backend.extend(backend_rows(label, result))
+        per_fleet.extend(fleet_rows(label, result))
+    return per_edge, per_backend, per_fleet
+
+
 def run(
     *,
     edges: int = 3,
+    backends: int = 2,
     duration: float = 30.0,
     seed: int = 101,
     jobs: int | None = 1,
-) -> tuple[list[dict[str, object]], list[dict[str, object]]]:
-    """Run the scenario sweep; returns (per-edge rows, fleet rows)."""
-    sweep = run_sweep(spec(edges=edges, duration=duration, seed=seed), jobs=jobs)
-    per_edge: list[dict[str, object]] = []
-    per_fleet: list[dict[str, object]] = []
-    for point, result in sweep.pairs():
-        per_edge.extend(edge_rows(point.label, result))
-        per_fleet.extend(fleet_rows(point.label, result))
-    return per_edge, per_fleet
+) -> tuple[
+    list[dict[str, object]], list[dict[str, object]], list[dict[str, object]]
+]:
+    """Run the scenario sweep; returns (per-edge, per-backend, fleet rows)."""
+    sweep = run_sweep(
+        spec(edges=edges, backends=backends, duration=duration, seed=seed),
+        jobs=jobs,
+    )
+    return _views([(point.label, result) for point, result in sweep.pairs()])
+
+
+def run_spec_file(
+    path: str, *, duration: float | None = None, jobs: int | None = 1
+) -> tuple[
+    SweepSpec,
+    list[dict[str, object]],
+    list[dict[str, object]],
+    list[dict[str, object]],
+]:
+    """Replay one scenario from a JSON spec/artifact file.
+
+    The file holds :meth:`ScenarioSpec.as_dict` output (also embedded in
+    ``--json`` artifacts under ``sweep_specs[].columns[].scenario`` and in
+    scenario results). ``duration`` optionally overrides the recorded
+    duration. Returns the one-point sweep spec plus the three row views.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    if duration is not None:
+        payload = {**payload, "duration": duration}
+    scenario = ScenarioSpec.from_dict(payload)
+    sweep_spec = SweepSpec(
+        name="scenario-replay",
+        description=f"replay of {scenario.name!r} from {path}",
+        root_seed=scenario.seed,
+        points=[
+            SweepPoint(
+                label=scenario.name,
+                scenario=scenario,
+                params={"spec_file": path},
+            )
+        ],
+    )
+    sweep = run_sweep(sweep_spec, jobs=jobs)
+    views = _views([(point.label, result) for point, result in sweep.pairs()])
+    return (sweep_spec, *views)

@@ -1,13 +1,26 @@
 """The consistency monitor: the omniscient observer of Figure 2.
 
-An experiment-only component. It taps the database's commit stream and every
-cache's finished-transaction stream, classifies each read-only transaction
-with the serialization-graph tester, and accumulates both cumulative counts
-and a per-window time series. It never influences the system under test.
+An experiment-only component. It taps every backend database's commit
+stream and every cache's finished-transaction stream, classifies each
+read-only transaction with a serialization-graph tester, and accumulates
+both cumulative counts and a per-window time series. It never influences
+the system under test.
+
+Version namespaces
+------------------
+Versions are commit-sequence numbers *of one backend*: two backends both
+allocate versions 1, 2, 3, ... and their orders are unrelated. The monitor
+therefore keys every serialization-graph edge by ``(backend, version)``,
+realised as one :class:`SerializationGraphTester` per backend namespace —
+updates recorded under namespace ``b`` only ever meet read sets observed at
+caches wired to ``b``. Single-backend wiring needs no namespace at all: the
+default namespace is bound to the first backend that registers, so the
+legacy ``add_commit_listener(monitor.record_update)`` hookup stays valid.
 """
 
 from __future__ import annotations
 
+from repro.errors import SimulationError
 from repro.monitor.sgt import SerializationGraphTester
 from repro.monitor.stats import (
     ABORTED_NECESSARY,
@@ -35,45 +48,123 @@ class ConsistencyMonitor:
         monitor = ConsistencyMonitor(sim)
         database.add_commit_listener(monitor.record_update)
         cache.add_transaction_listener(monitor.record_read_only)
+
+    For a routed backend tier, tag each stream with its backend namespace::
+
+        for database in databases:
+            monitor.bind_backend(database.namespace)
+            database.add_commit_listener(
+                lambda txn, _b=database.namespace: monitor.record_update(txn, backend=_b)
+            )
+        cache.add_transaction_listener(
+            lambda rec: monitor.record_read_only(rec, source="edge0", backend="eu")
+        )
     """
 
     def __init__(self, sim: Simulator, *, window: float = 1.0) -> None:
         self._sim = sim
+        #: Tester of the default namespace (legacy single-backend wiring,
+        #: and the first backend bound via :meth:`bind_backend`).
         self.tester = SerializationGraphTester()
+        self._testers: dict[str | None, SerializationGraphTester] = {
+            None: self.tester
+        }
+        self._default_namespace_bound = False
         self.summary = MonitorSummary()
         self.series = TimeSeries(window=window)
         #: Per-source (per-edge) views, keyed by the ``source`` tag passed to
         #: :meth:`record_read_only`. One shared monitor classifies the whole
-        #: fleet against one serialization graph while each edge keeps its
-        #: own summary and time series.
+        #: fleet while each edge keeps its own summary and time series.
         self.source_summaries: dict[str, MonitorSummary] = {}
         self.source_series: dict[str, TimeSeries] = {}
+        #: Per-backend views, keyed by the ``backend`` namespace. These
+        #: count read-only classifications only; update-commit counts per
+        #: backend come from each backend's own ``DatabaseStats``.
+        self.backend_summaries: dict[str, MonitorSummary] = {}
+        self.backend_series: dict[str, TimeSeries] = {}
         #: Witnesses of committed-inconsistent transactions, for debugging
         #: and tests (bounded to avoid unbounded growth in long runs).
         self.inconsistency_witnesses: list[ReadOnlyTransactionRecord] = []
         self._witness_limit = 100
 
     # ------------------------------------------------------------------
+    # Namespaces
+    # ------------------------------------------------------------------
+
+    def bind_backend(self, backend: str) -> SerializationGraphTester:
+        """Declare a backend version namespace; returns its tester.
+
+        The first backend bound shares the default namespace's tester, so
+        streams recorded without a ``backend`` tag (the legacy wiring) and
+        streams tagged with that backend's name land in the same graph.
+        Every later backend gets its own independent tester.
+        """
+        tester = self._testers.get(backend)
+        if tester is None:
+            if not self._default_namespace_bound:
+                tester = self.tester
+                tester.namespace = backend
+                self._default_namespace_bound = True
+            else:
+                tester = SerializationGraphTester(namespace=backend)
+            self._testers[backend] = tester
+        return tester
+
+    def tester_for(self, backend: str | None) -> SerializationGraphTester:
+        """The serialization-graph tester of one backend namespace.
+
+        Unknown names raise instead of lazily creating a tester: a typo'd
+        backend tag would otherwise classify reads against an empty history
+        — everything trivially consistent — and silently zero that stream's
+        inconsistency. Declare namespaces with :meth:`bind_backend` during
+        wiring, as the scenario runner does.
+        """
+        if backend is None:
+            return self.tester
+        tester = self._testers.get(backend)
+        if tester is None:
+            raise SimulationError(
+                f"unknown backend namespace {backend!r} (bound: "
+                f"{self.backend_namespaces}); call bind_backend() during "
+                "wiring before recording tagged streams"
+            )
+        return tester
+
+    @property
+    def backend_namespaces(self) -> list[str]:
+        """Every named backend namespace, in bind order."""
+        return [name for name in self._testers if name is not None]
+
+    # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
 
-    def record_update(self, txn: CommittedTransaction) -> None:
-        self.tester.record_update(txn)
+    def record_update(
+        self, txn: CommittedTransaction, backend: str | None = None
+    ) -> None:
+        """Add one committed update transaction to ``backend``'s history."""
+        self.tester_for(backend).record_update(txn)
         self.summary.update_commits += 1
 
     def record_read_only(
-        self, record: ReadOnlyTransactionRecord, source: str | None = None
+        self,
+        record: ReadOnlyTransactionRecord,
+        source: str | None = None,
+        backend: str | None = None,
     ) -> None:
         """Classify one finished read-only transaction.
 
         ``source`` optionally names the edge the transaction ran against;
         tagged records additionally accumulate into that source's own
-        summary and series (the scenario runner's per-edge views) while the
-        fleet-wide classification stays unified.
+        summary and series (the scenario runner's per-edge views).
+        ``backend`` names the version namespace the record's versions were
+        observed in — the transaction is classified against that backend's
+        history only, and accumulates into that backend's summary and
+        series. The fleet-wide counts stay unified either way.
         """
-        consistent = (not record.non_repeatable) and self.tester.is_consistent(
-            record.reads
-        )
+        consistent = (not record.non_repeatable) and self.tester_for(
+            backend
+        ).is_consistent(record.reads)
         if record.non_repeatable:
             self.summary.non_repeatable += 1
         if record.outcome is TransactionOutcome.COMMITTED:
@@ -85,14 +176,34 @@ class ConsistencyMonitor:
         self.summary.read_only.add(label)
         self.series.record(record.finish_time, label)
         if source is not None:
-            summary = self.source_summaries.get(source)
-            if summary is None:
-                summary = self.source_summaries[source] = MonitorSummary()
-                self.source_series[source] = TimeSeries(window=self.series.window)
-            if record.non_repeatable:
-                summary.non_repeatable += 1
-            summary.read_only.add(label)
-            self.source_series[source].record(record.finish_time, label)
+            self._record_tagged(
+                self.source_summaries, self.source_series, source, record, label
+            )
+        if backend is not None:
+            self._record_tagged(
+                self.backend_summaries,
+                self.backend_series,
+                backend,
+                record,
+                label,
+            )
+
+    def _record_tagged(
+        self,
+        summaries: dict[str, MonitorSummary],
+        series: dict[str, TimeSeries],
+        tag: str,
+        record: ReadOnlyTransactionRecord,
+        label: str,
+    ) -> None:
+        summary = summaries.get(tag)
+        if summary is None:
+            summary = summaries[tag] = MonitorSummary()
+            series[tag] = TimeSeries(window=self.series.window)
+        if record.non_repeatable:
+            summary.non_repeatable += 1
+        summary.read_only.add(label)
+        series[tag].record(record.finish_time, label)
 
     # ------------------------------------------------------------------
     # Convenience accessors used by the experiments

@@ -44,9 +44,18 @@ __all__ = ["SerializationGraphTester"]
 
 
 class SerializationGraphTester:
-    """Exact consistency oracle over the committed update history."""
+    """Exact consistency oracle over one backend's committed update history.
 
-    def __init__(self) -> None:
+    Versions (and the transaction ids that double as them) are only ordered
+    *within* a backend database's commit sequence, so one tester holds one
+    backend's history: the monitor keeps a tester per backend namespace and
+    routes each stream to its own graph — the ``(backend, version)`` keying
+    of serialization-graph edges. ``namespace`` optionally names which
+    backend this tester serves, for diagnostics.
+    """
+
+    def __init__(self, namespace: str | None = None) -> None:
+        self.namespace = namespace
         self._txns: dict[TxnId, CommittedTransaction] = {}
         #: Per key: sorted list of versions installed (ascending).
         self._chains: dict[Key, list[Version]] = {}
@@ -65,7 +74,10 @@ class SerializationGraphTester:
     def record_update(self, txn: CommittedTransaction) -> None:
         """Add a committed update transaction to the history."""
         if txn.txn_id in self._txns:
-            raise SimulationError(f"update transaction {txn.txn_id} recorded twice")
+            where = f" in namespace {self.namespace!r}" if self.namespace else ""
+            raise SimulationError(
+                f"update transaction {txn.txn_id} recorded twice{where}"
+            )
         self._txns[txn.txn_id] = txn
         self.update_count += 1
         for key, version in txn.writes.items():

@@ -1,6 +1,6 @@
 """Ready-made multi-edge scenarios the single-column API could not express.
 
-Three families, all parameterised and cheap to scale down for smoke tests:
+Five families, all parameterised and cheap to scale down for smoke tests:
 
 * :func:`heterogeneous_loss_fleet` — N identical edges whose invalidation
   channels degrade progressively (0 % loss at the first edge, ``max_loss``
@@ -13,13 +13,23 @@ Three families, all parameterised and cheap to scale down for smoke tests:
 * :func:`flash_crowd_scenario` — one edge serving a flash crowd (high read
   rate concentrated on a small hot set) next to quiet edges, all over the
   same catalogue.
+
+Two exercise the routed backend tier:
+
+* :func:`regional_backends_scenario` — one backend database per region,
+  several edges per region placed on it (a metro edge with a clean channel,
+  outskirts with lossier ones), each region over its own key slice — the
+  TransEdge shape of edge nodes over partitioned backends.
+* :func:`hot_backend_overload` — a tier where one backend serves a
+  flash-crowd edge while its peers idle; the per-backend aggregates expose
+  the load imbalance that edge-level views average away.
 """
 
 from __future__ import annotations
 
 from repro.core.strategies import Strategy
 from repro.errors import ConfigurationError
-from repro.scenario.spec import EdgeSpec, ScenarioSpec
+from repro.scenario.spec import BackendSpec, EdgeSpec, ScenarioSpec
 from repro.workloads.synthetic import (
     MixtureWorkload,
     OffsetWorkload,
@@ -32,6 +42,8 @@ __all__ = [
     "flash_crowd_scenario",
     "geo_skewed_scenario",
     "heterogeneous_loss_fleet",
+    "hot_backend_overload",
+    "regional_backends_scenario",
 ]
 
 
@@ -219,6 +231,165 @@ def flash_crowd_scenario(
             f"next to {quiet_edges} quiet edges"
         ),
         edges=specs,
+        seed=seed,
+        duration=duration,
+        warmup=warmup,
+    )
+
+
+def regional_backends_scenario(
+    *,
+    regions: int = 2,
+    edges_per_region: int = 2,
+    objects_per_region: int = 400,
+    cluster_size: int = 5,
+    shards: int = 1,
+    duration: float = 30.0,
+    warmup: float = 5.0,
+    seed: int = 401,
+    read_rate: float = 300.0,
+    update_rate: float = 60.0,
+    max_loss: float = 0.35,
+) -> ScenarioSpec:
+    """One backend database per region, several edges placed on each.
+
+    Region ``r`` owns a disjoint key slice served by its own backend
+    (optionally sharded); its first edge is the metro site with a clean
+    invalidation channel, and each further edge sits farther out with a
+    progressively lossier, slower channel. All edges of a region read and
+    update the regional slice, so every backend carries its region's full
+    update stream while the monitor splits inconsistency per backend.
+    """
+    if regions < 1:
+        raise ConfigurationError(f"need at least one region, got {regions}")
+    if edges_per_region < 1:
+        raise ConfigurationError(
+            f"need at least one edge per region, got {edges_per_region}"
+        )
+    backends = [
+        BackendSpec(name=f"region{index}-db", shards=shards)
+        for index in range(regions)
+    ]
+    edges: list[EdgeSpec] = []
+    placement: dict[str, str] = {}
+    for region in range(regions):
+        slice_workload = OffsetWorkload(
+            PerfectClusterWorkload(
+                n_objects=objects_per_region, cluster_size=cluster_size
+            ),
+            offset=region * objects_per_region,
+        )
+        for rank in range(edges_per_region):
+            # rank 0 is the metro edge; channels degrade with distance.
+            distance = (
+                rank / (edges_per_region - 1) if edges_per_region > 1 else 0.0
+            )
+            edge = EdgeSpec(
+                name=f"region{region}-edge{rank}",
+                workload=slice_workload,
+                read_rate=read_rate,
+                update_rate=update_rate / edges_per_region,
+                invalidation_loss=max_loss * distance,
+                invalidation_latency_mean=0.02 * (1 + 3 * distance),
+            )
+            edges.append(edge)
+            placement[edge.name] = backends[region].name
+    return ScenarioSpec(
+        name=f"regional-backends-{regions}x{edges_per_region}",
+        description=(
+            f"{regions} regional backends ({shards} shard(s) each), "
+            f"{edges_per_region} edges per region over disjoint key slices"
+        ),
+        edges=edges,
+        backends=backends,
+        placement=placement,
+        seed=seed,
+        duration=duration,
+        warmup=warmup,
+    )
+
+
+def hot_backend_overload(
+    *,
+    backends: int = 3,
+    n_objects: int = 400,
+    hot_objects: int = 100,
+    cluster_size: int = 5,
+    crowd_read_rate: float = 1200.0,
+    quiet_read_rate: float = 150.0,
+    update_rate: float = 100.0,
+    hot_alpha: float = 4.0,
+    duration: float = 30.0,
+    warmup: float = 5.0,
+    seed: int = 503,
+) -> ScenarioSpec:
+    """One overloaded backend in an otherwise quiet tier.
+
+    Backend 0 serves two edges: a steady updater over its whole slice and a
+    read-only crowd edge hammering a small hot subset. Every other backend
+    serves a single quiet edge over its own slice. The per-backend
+    aggregates expose the skew — read load, update commits and
+    inconsistency concentrate on the hot backend — which the fleet-level
+    averages alone would hide.
+    """
+    if backends < 2:
+        raise ConfigurationError(
+            f"overload needs at least two backends, got {backends}"
+        )
+    if hot_objects > n_objects:
+        raise ConfigurationError(
+            f"hot_objects {hot_objects} exceeds slice size {n_objects}"
+        )
+    tier = [BackendSpec(name=f"backend{index}") for index in range(backends)]
+    hot_slice = PerfectClusterWorkload(
+        n_objects=n_objects, cluster_size=cluster_size
+    )
+    hot_set = ParetoClusterWorkload(
+        n_objects=hot_objects, cluster_size=cluster_size, alpha=hot_alpha
+    )
+    edges = [
+        EdgeSpec(
+            name="hot-updater",
+            workload=hot_slice,
+            read_workload=UniformWorkload(n_objects=n_objects),
+            read_rate=quiet_read_rate,
+            update_rate=update_rate,
+            invalidation_loss=0.2,
+        ),
+        EdgeSpec(
+            name="hot-crowd",
+            workload=hot_slice,
+            read_workload=hot_set,
+            read_rate=crowd_read_rate,
+            update_rate=0.0,  # a pure read surge
+            strategy=Strategy.EVICT,
+            invalidation_loss=0.2,
+        ),
+    ]
+    placement = {"hot-updater": "backend0", "hot-crowd": "backend0"}
+    for index in range(1, backends):
+        slice_workload = OffsetWorkload(
+            PerfectClusterWorkload(n_objects=n_objects, cluster_size=cluster_size),
+            offset=index * n_objects,
+        )
+        edge = EdgeSpec(
+            name=f"quiet{index}",
+            workload=slice_workload,
+            read_rate=quiet_read_rate,
+            update_rate=update_rate / 4,
+            invalidation_loss=0.1,
+        )
+        edges.append(edge)
+        placement[edge.name] = f"backend{index}"
+    return ScenarioSpec(
+        name=f"hot-backend-{backends}backends",
+        description=(
+            f"backend0 serves a {crowd_read_rate:g}/s crowd on "
+            f"{hot_objects} hot keys while {backends - 1} peer backend(s) idle"
+        ),
+        edges=edges,
+        backends=tier,
+        placement=placement,
         seed=seed,
         duration=duration,
         warmup=warmup,

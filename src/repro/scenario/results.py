@@ -6,9 +6,11 @@ legacy single-column runner and the scenario executor can produce it;
 :mod:`repro.experiments.runner` re-exports it under its historical import
 path.
 
-:class:`ScenarioResult` adds the fleet view: per-edge results in spec order
-plus :class:`FleetAggregates` computed from the shared consistency monitor
-and backend database.
+:class:`ScenarioResult` adds the fleet view: per-edge results in spec order,
+:class:`FleetAggregates` computed from the shared consistency monitor, and —
+since the backend became a routed tier — one :class:`BackendAggregates` per
+backend (its load, commit counts and the read-only classifications of the
+edges placed on it).
 """
 
 from __future__ import annotations
@@ -27,7 +29,12 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.experiments.config import ColumnConfig
     from repro.scenario.spec import EdgeSpec, ScenarioSpec
 
-__all__ = ["ColumnResult", "FleetAggregates", "ScenarioResult"]
+__all__ = [
+    "BackendAggregates",
+    "ColumnResult",
+    "FleetAggregates",
+    "ScenarioResult",
+]
 
 
 @dataclass(slots=True)
@@ -87,6 +94,57 @@ class ColumnResult:
 
 
 @dataclass(slots=True)
+class BackendAggregates:
+    """One backend database's view of the scenario it served.
+
+    ``counts`` classifies the read-only transactions of the edges placed on
+    this backend (measured window, from the monitor's per-backend series);
+    ``db_stats`` is the backend's own live counters (whole run).
+    """
+
+    #: Backend name (= its version namespace).
+    name: str
+    #: Names of the edges placed on this backend, in spec order.
+    edges: list[str]
+    #: Read-only classification counts of this backend's edges (measured).
+    counts: ClassCounts
+    #: The backend database's own counters (whole run).
+    db_stats: DatabaseStats
+    #: Whole-run cache-originated reads this backend served.
+    db_accesses: int
+    #: ``db_accesses`` per simulated second — this backend's share of the
+    #: tier's cache-miss read load.
+    read_load: float
+
+    @property
+    def update_commits(self) -> int:
+        """Committed update transactions at this backend (whole run)."""
+        return self.db_stats.committed
+
+    @property
+    def inconsistency_ratio(self) -> float:
+        """Inconsistent commits / all commits among this backend's edges."""
+        return self.counts.inconsistency_ratio
+
+    @property
+    def detection_ratio(self) -> float:
+        return self.counts.detection_ratio
+
+    @property
+    def abort_ratio(self) -> float:
+        return self.counts.abort_ratio
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe record including the derived ratios."""
+        payload = asdict(self)
+        payload["update_commits"] = self.update_commits
+        payload["inconsistency_ratio"] = self.inconsistency_ratio
+        payload["detection_ratio"] = self.detection_ratio
+        payload["abort_ratio"] = self.abort_ratio
+        return payload
+
+
+@dataclass(slots=True)
 class FleetAggregates:
     """Fleet-level metrics of one scenario run, measured window only.
 
@@ -111,6 +169,10 @@ class FleetAggregates:
     inconsistency_variance: float
     #: Population variance of per-edge cache hit ratios.
     hit_ratio_variance: float
+    #: Backend name -> inconsistency ratio of the edges placed on it — the
+    #: cross-backend split of the fleet-wide ratio (one entry for
+    #: single-backend scenarios).
+    inconsistency_by_backend: dict[str, float] = field(default_factory=dict)
 
     @property
     def inconsistency_ratio(self) -> float:
@@ -143,16 +205,21 @@ class FleetAggregates:
 
 @dataclass(slots=True)
 class ScenarioResult:
-    """Results of one executed scenario: per-edge views plus the fleet view."""
+    """Results of one executed scenario: per-edge, per-backend and fleet
+    views."""
 
     spec: ScenarioSpec
-    #: One :class:`ColumnResult` per edge, in spec order. Each carries the
-    #: shared backend's stats as its ``db_stats`` (one database serves the
-    #: whole fleet).
+    #: One :class:`ColumnResult` per edge, in spec order. Each carries its
+    #: assigned backend's stats as its ``db_stats`` (edges on the same
+    #: backend hold the same object).
     edges: list[ColumnResult]
     fleet: FleetAggregates
-    #: The shared backend's counters (same object every edge result holds).
+    #: Tier-wide backend counters. For a single backend this is the
+    #: backend's own stats object (the same one every edge result holds);
+    #: for a routed tier it is the sum over backends.
     db_stats: DatabaseStats
+    #: One :class:`BackendAggregates` per backend, in spec order.
+    backends: list[BackendAggregates] = field(default_factory=list)
 
     def pairs(self) -> Iterator[tuple[EdgeSpec, ColumnResult]]:
         """``(edge spec, edge result)`` pairs in spec order."""
@@ -167,12 +234,23 @@ class ScenarioResult:
             f"no edge named {name!r} in scenario {self.spec.name!r}"
         )
 
+    def backend(self, name: str) -> BackendAggregates:
+        """The aggregates of the backend named ``name``."""
+        for aggregate in self.backends:
+            if aggregate.name == name:
+                return aggregate
+        raise KeyError(
+            f"no backend named {name!r} in scenario {self.spec.name!r}"
+        )
+
     def to_artifact(self) -> dict[str, object]:
-        """JSON-safe record: topology + per-edge counts/series + aggregates."""
+        """JSON-safe record: topology + per-edge counts/series + per-backend
+        + fleet aggregates."""
         payload = self.spec.as_dict()
         payload["edges"] = [
             {
                 **edge_spec.as_dict(),
+                "backend": self.spec.placement[edge_spec.name],
                 "counts": asdict(result.counts),
                 "series": result.series,
                 "hit_ratio": result.hit_ratio,
@@ -182,6 +260,13 @@ class ScenarioResult:
                 "retries_resolved": result.retries_resolved,
             }
             for edge_spec, result in self.pairs()
+        ]
+        # Merge each backend's spec (already in the payload) with its
+        # aggregates, mirroring the per-edge records; the merged entries
+        # still satisfy ScenarioSpec.from_dict, so result artifacts replay.
+        payload["backends"] = [
+            {**backend_spec.as_dict(), **aggregate.as_dict()}
+            for backend_spec, aggregate in zip(self.spec.backends, self.backends)
         ]
         payload["fleet"] = self.fleet.as_dict()
         payload["db_stats"] = asdict(self.db_stats)

@@ -1,25 +1,30 @@
-"""Build and run a multi-edge scenario.
+"""Build and run a multi-edge, multi-backend scenario.
 
 The executor generalises the historical single-column runner: one simulated
-clock, one transactional backend, one omniscient consistency monitor — and
-one cache + invalidation channel + client population per
-:class:`~repro.scenario.spec.EdgeSpec`. Every edge's updates commit at the
-shared database, whose invalidation stream fans out to every edge's channel
-with that edge's own loss and latency.
+clock, one *tier* of transactional backends, one omniscient consistency
+monitor — and one cache + invalidation channel + client population per
+:class:`~repro.scenario.spec.EdgeSpec`. Every edge is wired to exactly one
+backend (its placement): its cache misses read that backend, its update
+clients commit there, and that backend's invalidation stream fans out to the
+edge's channel with the edge's own loss and latency. Each backend allocates
+versions from its own commit sequence, so the monitor classifies reads per
+backend namespace (serialization-graph edges keyed by ``(backend,
+version)``), and a cache receiving an invalidation stamped with a foreign
+namespace raises — backends never share state.
 
 Determinism and legacy equivalence
 ----------------------------------
 
 Randomness follows the package's named-stream policy
 (:class:`~repro.sim.rng.RngStreams`): each consumer draws from its own
-independently seeded generator, so adding edges never perturbs the draws of
-existing ones. Edge 0 uses the *historical* stream names
-(``invalidation-channel``, ``update-client``, ``read-client``) and the
-historical read-transaction id range (ids from 1); every later edge
-namespaces its streams by edge name and gets a disjoint id range. A
-one-edge scenario therefore reproduces the pre-scenario ``run_column``
-results bit for bit — the golden-equivalence contract the integration tests
-enforce.
+independently seeded generator, so adding edges (or backends — databases
+consume no randomness) never perturbs the draws of existing ones. Edge 0
+uses the *historical* stream names (``invalidation-channel``,
+``update-client``, ``read-client``) and the historical read-transaction id
+range (ids from 1); every later edge namespaces its streams by edge name and
+gets a disjoint id range. A one-edge scenario on the default single backend
+therefore reproduces the pre-scenario ``run_column`` results bit for bit —
+the golden-equivalence contract the integration tests enforce.
 """
 
 from __future__ import annotations
@@ -33,11 +38,16 @@ from repro.cache.ttl import TTLCache
 from repro.clients.read_client import ReadOnlyClient
 from repro.clients.update_client import UpdateClient, UpdateClientStats
 from repro.core.tcache import TCache
-from repro.db.database import Database, DatabaseConfig
+from repro.db.database import Database, DatabaseConfig, DatabaseStats
 from repro.monitor.monitor import ConsistencyMonitor
 from repro.monitor.stats import CLASSES, ClassCounts, TimeSeries
-from repro.scenario.results import ColumnResult, FleetAggregates, ScenarioResult
-from repro.scenario.spec import EdgeSpec, ScenarioSpec
+from repro.scenario.results import (
+    BackendAggregates,
+    ColumnResult,
+    FleetAggregates,
+    ScenarioResult,
+)
+from repro.scenario.spec import BackendSpec, EdgeSpec, ScenarioSpec
 from repro.sim.channel import Channel
 from repro.sim.core import Simulator
 from repro.sim.rng import RngStreams
@@ -66,6 +76,8 @@ class ScenarioEdge:
     index: int
     cache: CacheServer
     channel: Channel
+    #: The backend database this edge is placed on.
+    database: Database
     #: ``None`` when the edge's ``update_rate`` is 0 (a read-only region).
     update_client: UpdateClient | None
     read_client: ReadOnlyClient
@@ -77,9 +89,25 @@ class Scenario:
 
     sim: Simulator
     spec: ScenarioSpec
-    database: Database
+    #: Backend databases in :attr:`ScenarioSpec.backends` order.
+    databases: list[Database]
     monitor: ConsistencyMonitor
     edges: list[ScenarioEdge]
+
+    @property
+    def database(self) -> Database:
+        """The primary (first) backend — *the* backend of single-backend
+        scenarios, kept for the legacy single-column API."""
+        return self.databases[0]
+
+    def backend(self, name: str) -> Database:
+        """The wired backend database named ``name``."""
+        for database in self.databases:
+            if database.namespace == name:
+                return database
+        raise KeyError(
+            f"no backend named {name!r} in scenario {self.spec.name!r}"
+        )
 
     def edge(self, name: str) -> ScenarioEdge:
         """The wired edge named ``name``."""
@@ -94,10 +122,12 @@ def _stream_name(index: int, edge_name: str, base: str) -> str:
     return base if index == 0 else f"{edge_name}/{base}"
 
 
-def _initial_objects(spec: ScenarioSpec) -> dict[Key, object]:
-    """The union key universe across every edge's workloads, in edge order."""
+def _initial_objects(spec: ScenarioSpec, backend: BackendSpec) -> dict[Key, object]:
+    """The union key universe of the edges placed on ``backend``, in edge
+    order. Backends are independent stores: a key name appearing on two
+    backends denotes two unrelated objects."""
     initial: dict[Key, object] = {}
-    for edge in spec.edges:
+    for edge in spec.edges_on(backend.name):
         for key in edge.workload.all_keys():
             initial.setdefault(key, f"init:{key}")
         if edge.read_workload is not None:
@@ -139,21 +169,40 @@ def build_scenario(spec: ScenarioSpec) -> Scenario:
     sim = Simulator()
     streams = RngStreams(spec.seed)
 
-    database = Database(
-        sim,
-        DatabaseConfig(
-            deplist_max=spec.deplist_max,
-            timing=spec.timing,
-            pruning_policy=spec.pruning_policy,
-        ),
-    )
-    database.load(_initial_objects(spec))
+    databases: list[Database] = []
+    by_name: dict[str, Database] = {}
+    for backend_spec in spec.backends:
+        database = Database(
+            sim,
+            DatabaseConfig(
+                shards=backend_spec.shards,
+                deplist_max=spec.backend_deplist_max(backend_spec),
+                timing=spec.backend_timing(backend_spec),
+                name=backend_spec.name,
+                pruning_policy=spec.backend_pruning_policy(backend_spec),
+            ),
+        )
+        database.load(_initial_objects(spec, backend_spec))
+        databases.append(database)
+        by_name[backend_spec.name] = database
 
     monitor = ConsistencyMonitor(sim, window=spec.monitor_window)
-    database.add_commit_listener(monitor.record_update)
+    for database in databases:
+        monitor.bind_backend(database.namespace)
+        if len(databases) == 1:
+            # The historical hookup: the bound method itself, recording into
+            # the default namespace that bind_backend just aliased.
+            database.add_commit_listener(monitor.record_update)
+        else:
+            database.add_commit_listener(
+                lambda txn, _backend=database.namespace: monitor.record_update(
+                    txn, backend=_backend
+                )
+            )
 
     edges: list[ScenarioEdge] = []
     for index, edge_spec in enumerate(spec.edges):
+        database = by_name[spec.placement[edge_spec.name]]
         cache = _make_cache(sim, database, edge_spec)
         channel = Channel(
             sim,
@@ -169,8 +218,8 @@ def build_scenario(spec: ScenarioSpec) -> Scenario:
         )
         database.register_invalidation_channel(channel)
         cache.add_transaction_listener(
-            lambda record, _source=edge_spec.name: monitor.record_read_only(
-                record, source=_source
+            lambda record, _source=edge_spec.name, _backend=database.namespace: (
+                monitor.record_read_only(record, source=_source, backend=_backend)
             )
         )
 
@@ -210,13 +259,14 @@ def build_scenario(spec: ScenarioSpec) -> Scenario:
                 index=index,
                 cache=cache,
                 channel=channel,
+                database=database,
                 update_client=update_client,
                 read_client=read_client,
             )
         )
 
     return Scenario(
-        sim=sim, spec=spec, database=database, monitor=monitor, edges=edges
+        sim=sim, spec=spec, databases=databases, monitor=monitor, edges=edges
     )
 
 
@@ -281,11 +331,28 @@ def _variance(values: list[float]) -> float:
     return sum((value - mean) ** 2 for value in values) / len(values)
 
 
+def _combined_db_stats(databases: list[Database]) -> DatabaseStats:
+    """Tier-wide backend counters.
+
+    For a single backend this is the backend's own live stats object
+    (preserving the historical identity ``result.db_stats is
+    result.edges[0].db_stats``); for a routed tier it is a synthesised sum.
+    """
+    if len(databases) == 1:
+        return databases[0].stats
+    total = DatabaseStats()
+    for database in databases:
+        total.committed += database.stats.committed
+        total.aborted += database.stats.aborted
+        total.entry_reads += database.stats.entry_reads
+        total.invalidations_sent += database.stats.invalidations_sent
+    return total
+
+
 def collect_scenario_result(scenario: Scenario) -> ScenarioResult:
     """Extract a :class:`ScenarioResult` from a finished scenario."""
     spec = scenario.spec
     monitor = scenario.monitor
-    db_stats = scenario.database.stats
 
     edge_results: list[ColumnResult] = []
     for edge in scenario.edges:
@@ -298,10 +365,37 @@ def collect_scenario_result(scenario: Scenario) -> ScenarioResult:
                 series,
                 spec.warmup,
                 cache=edge.cache,
-                db_stats=db_stats,
+                db_stats=edge.database.stats,
                 channel_stats=edge.channel.stats,
                 update_client=edge.update_client,
                 read_client=edge.read_client,
+            )
+        )
+
+    results_by_edge = {
+        edge.spec.name: result
+        for edge, result in zip(scenario.edges, edge_results)
+    }
+    backend_aggregates: list[BackendAggregates] = []
+    for backend_spec, database in zip(spec.backends, scenario.databases):
+        edge_names = [e.name for e in spec.edges_on(backend_spec.name)]
+        series = monitor.backend_series.get(database.namespace)
+        counts = (
+            measured_counts(series, spec.warmup)
+            if series is not None
+            else ClassCounts()
+        )
+        db_accesses = sum(
+            results_by_edge[name].cache_stats.db_accesses for name in edge_names
+        )
+        backend_aggregates.append(
+            BackendAggregates(
+                name=backend_spec.name,
+                edges=edge_names,
+                counts=counts,
+                db_stats=database.stats,
+                db_accesses=db_accesses,
+                read_load=db_accesses / spec.total_time,
             )
         )
 
@@ -314,14 +408,24 @@ def collect_scenario_result(scenario: Scenario) -> ScenarioResult:
         cache_hits=cache_hits,
         db_accesses=db_accesses,
         backend_read_rate=db_accesses / spec.total_time,
-        update_commits=db_stats.committed,
+        update_commits=sum(
+            database.stats.committed for database in scenario.databases
+        ),
         inconsistency_variance=_variance(
             [result.inconsistency_ratio for result in edge_results]
         ),
         hit_ratio_variance=_variance(
             [result.hit_ratio for result in edge_results]
         ),
+        inconsistency_by_backend={
+            aggregate.name: aggregate.inconsistency_ratio
+            for aggregate in backend_aggregates
+        },
     )
     return ScenarioResult(
-        spec=spec, edges=edge_results, fleet=fleet, db_stats=db_stats
+        spec=spec,
+        edges=edge_results,
+        fleet=fleet,
+        db_stats=_combined_db_stats(scenario.databases),
+        backends=backend_aggregates,
     )

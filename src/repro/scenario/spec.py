@@ -1,11 +1,14 @@
-"""Declarative description of a multi-edge topology.
+"""Declarative description of a multi-edge, multi-backend topology.
 
-A :class:`ScenarioSpec` is the paper's Figure 2 generalised to a fleet: one
-transactional backend, one omniscient consistency monitor, and N edge caches
-— each an :class:`EdgeSpec` with its own cache variant, invalidation channel
-quality, and client populations. Specs are plain data validated at
-construction; building one runs nothing. :func:`repro.scenario.run_scenario`
-executes them.
+A :class:`ScenarioSpec` is the paper's Figure 2 generalised to a fleet:
+one or more transactional backends (:class:`BackendSpec`), one omniscient
+consistency monitor, and N edge caches — each an :class:`EdgeSpec` with its
+own cache variant, invalidation channel quality, and client populations. A
+*placement* maps each edge to the backend that serves its misses, updates
+and invalidations; the default places every edge on one default backend,
+reproducing the paper's single-backend setting bit for bit. Specs are plain
+data validated at construction; building one runs nothing.
+:func:`repro.scenario.run_scenario` executes them.
 
 The legacy single-column API (:func:`repro.experiments.runner.run_column`)
 is a shim over this layer: a one-edge scenario built with
@@ -17,10 +20,10 @@ results bit for bit (see the RNG naming notes in
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.cache.kinds import CacheKind
-from repro.core.deplist import UNBOUNDED
+from repro.core.deplist import UNBOUNDED, validate_pruning_policy
 from repro.core.strategies import Strategy
 from repro.db.database import TimingConfig
 from repro.errors import ConfigurationError
@@ -29,11 +32,88 @@ from repro.workloads.base import Workload
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.experiments.config import ColumnConfig
 
-__all__ = ["EdgeSpec", "ScenarioSpec"]
+__all__ = ["BackendSpec", "DEFAULT_BACKEND_NAME", "EdgeSpec", "ScenarioSpec"]
+
+#: Name of the implicit backend of single-backend scenarios. Matches the
+#: historical :class:`~repro.db.database.DatabaseConfig` default so that a
+#: spec with no ``backends`` reproduces the pre-backend-tier wiring exactly.
+DEFAULT_BACKEND_NAME = "db"
 
 #: Cache kinds that run the T-Cache consistency checks (and may therefore
 #: carry a per-edge ``deplist_limit``).
 _CHECKING_KINDS = (CacheKind.TCACHE, CacheKind.MULTIVERSION)
+
+
+@dataclass(slots=True)
+class BackendSpec:
+    """One transactional backend database of a scenario's backend tier.
+
+    ``deplist_max``, ``timing`` and ``pruning_policy`` default to ``None``,
+    meaning "inherit the scenario-wide value" — so a fleet can share one
+    configuration while individual backends override it (e.g. a regional
+    backend with longer dependency lists or slower commit phases).
+
+    Each backend owns an independent version namespace: its commit-sequence
+    counter starts at 1 and orders only its own transactions. The runner and
+    the consistency monitor key everything version-related by
+    ``(backend, version)`` — see :class:`~repro.monitor.monitor.ConsistencyMonitor`.
+    """
+
+    #: Unique name within the scenario; becomes the database name, the WAL
+    #: and shard name prefix, and the monitor's version namespace.
+    name: str
+    #: 2PC participants the backend is partitioned over (stable-hash
+    #: placement of keys to shards).
+    shards: int = 1
+    #: Backend-side dependency-list bound; ``None`` inherits the scenario's.
+    deplist_max: int | None = None
+    #: Transaction phase latencies; ``None`` inherits the scenario's.
+    timing: TimingConfig | None = None
+    #: Dependency-list pruning order; ``None`` inherits the scenario's.
+    pruning_policy: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("backend name must be non-empty")
+        if self.shards < 1:
+            raise ConfigurationError(
+                f"backend {self.name!r}: need at least one shard, got {self.shards}"
+            )
+        if (
+            self.deplist_max is not None
+            and self.deplist_max != UNBOUNDED
+            and self.deplist_max < 0
+        ):
+            raise ConfigurationError(
+                f"backend {self.name!r}: deplist_max must be >= 0, UNBOUNDED "
+                f"or None, got {self.deplist_max}"
+            )
+        if self.pruning_policy is not None:
+            validate_pruning_policy(
+                self.pruning_policy, owner=f"backend {self.name!r}"
+            )
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe description (``None`` marks inherited fields)."""
+        return {
+            "name": self.name,
+            "shards": self.shards,
+            "deplist_max": self.deplist_max,
+            "timing": None if self.timing is None else asdict(self.timing),
+            "pruning_policy": self.pruning_policy,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "BackendSpec":
+        """Rebuild a backend spec from :meth:`as_dict` output."""
+        timing = payload.get("timing")
+        return cls(
+            name=payload["name"],
+            shards=payload.get("shards", 1),
+            deplist_max=payload.get("deplist_max"),
+            timing=None if timing is None else TimingConfig(**timing),
+            pruning_policy=payload.get("pruning_policy"),
+        )
 
 
 @dataclass(slots=True)
@@ -124,7 +204,23 @@ class EdgeSpec:
                 )
 
     def as_dict(self) -> dict[str, object]:
-        """JSON-safe description (workloads by class name, enums by name)."""
+        """JSON-safe description (workloads by class name, enums by name).
+
+        ``workload_spec`` / ``read_workload_spec`` carry full replayable
+        workload payloads for the portable synthetic families (``None`` for
+        graph/trace workloads, which hold external state) — the inputs
+        :meth:`from_dict` rebuilds edges from.
+        """
+        from repro.workloads.codec import workload_to_dict
+
+        def _portable(workload) -> dict[str, object] | None:
+            if workload is None:
+                return None
+            try:
+                return workload_to_dict(workload)
+            except ConfigurationError:
+                return None
+
         return {
             "name": self.name,
             "workload": type(self.workload).__name__,
@@ -133,6 +229,8 @@ class EdgeSpec:
                 if self.read_workload is None
                 else type(self.read_workload).__name__
             ),
+            "workload_spec": _portable(self.workload),
+            "read_workload_spec": _portable(self.read_workload),
             "cache_kind": self.cache_kind.name,
             "strategy": self.strategy.name,
             "ttl": self.ttl,
@@ -146,10 +244,68 @@ class EdgeSpec:
             "invalidation_latency_mean": self.invalidation_latency_mean,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "EdgeSpec":
+        """Rebuild an edge spec from :meth:`as_dict` output.
+
+        Requires a portable ``workload_spec`` — an edge whose workload was
+        graph- or trace-backed cannot be replayed from JSON.
+        """
+        from repro.workloads.codec import workload_from_dict
+
+        workload_spec = payload.get("workload_spec")
+        if workload_spec is None:
+            raise ConfigurationError(
+                f"edge {payload.get('name')!r}: no portable workload_spec in "
+                "payload; only synthetic-family workloads replay from JSON"
+            )
+        read_spec = payload.get("read_workload_spec")
+        if read_spec is None and payload.get("read_workload") is not None:
+            # The edge *had* a read workload but it wasn't portable —
+            # replaying without it would silently drive reads from the
+            # update workload instead of the recorded distribution.
+            raise ConfigurationError(
+                f"edge {payload.get('name')!r}: read workload "
+                f"{payload['read_workload']!r} has no portable "
+                "read_workload_spec; only synthetic-family workloads replay "
+                "from JSON"
+            )
+        return cls(
+            name=payload["name"],
+            workload=workload_from_dict(workload_spec),
+            read_workload=(
+                None if read_spec is None else workload_from_dict(read_spec)
+            ),
+            cache_kind=CacheKind[payload.get("cache_kind", "TCACHE")],
+            strategy=Strategy[payload.get("strategy", "ABORT")],
+            ttl=payload.get("ttl"),
+            cache_capacity=payload.get("cache_capacity"),
+            deplist_limit=payload.get("deplist_limit"),
+            update_rate=payload.get("update_rate", 100.0),
+            read_rate=payload.get("read_rate", 500.0),
+            read_gap=payload.get("read_gap", 0.001),
+            retry_aborted_reads=payload.get("retry_aborted_reads", False),
+            invalidation_loss=payload.get("invalidation_loss", 0.2),
+            invalidation_latency_mean=payload.get(
+                "invalidation_latency_mean", 0.05
+            ),
+        )
+
 
 @dataclass(slots=True)
 class ScenarioSpec:
-    """A fleet of edge caches in front of one transactional backend."""
+    """A fleet of edge caches in front of a tier of transactional backends.
+
+    By default the tier is one :class:`BackendSpec` named
+    :data:`DEFAULT_BACKEND_NAME` and every edge is placed on it — the
+    paper's topology, bit-identical to the pre-backend-tier runner. Passing
+    several ``backends`` plus a ``placement`` (a mapping from edge name to
+    backend name, or a callable ``EdgeSpec -> backend name``) turns the
+    scenario into a routed tier: each edge's cache misses, update clients
+    and invalidation channel are wired to its assigned backend only, while
+    one consistency monitor classifies the whole fleet using per-backend
+    version namespaces.
+    """
 
     name: str
     edges: list[EdgeSpec]
@@ -161,14 +317,21 @@ class ScenarioSpec:
     warmup: float = 5.0
     #: The paper's ``k``: the database-side dependency-list bound shared by
     #: the fleet; :data:`~repro.core.deplist.UNBOUNDED` for Theorem 1,
-    #: 0 to disable dependency tracking.
+    #: 0 to disable dependency tracking. Backends may override it.
     deplist_max: int = 5
     #: Dependency-list pruning order: "lru" (the paper) or the ablation
-    #: alternatives "newest-version" / "random".
+    #: alternatives "newest-version" / "random". Backends may override it.
     pruning_policy: str = "lru"
     timing: TimingConfig = field(default_factory=TimingConfig)
     monitor_window: float = 1.0
     description: str = ""
+    #: The backend tier, in build order. Defaults to one default backend.
+    backends: list[BackendSpec] = field(default_factory=list)
+    #: Edge name -> backend name. Accepts a mapping (possibly partial —
+    #: unmapped edges go to the first backend) or a callable
+    #: ``EdgeSpec -> backend name``; normalised to a complete dict at
+    #: construction so specs stay plain picklable data.
+    placement: Mapping[str, str] | Callable[[EdgeSpec], str] | None = None
 
     def __post_init__(self) -> None:
         if not self.edges:
@@ -195,6 +358,43 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"deplist_max must be >= 0 or UNBOUNDED, got {self.deplist_max}"
             )
+        validate_pruning_policy(self.pruning_policy)
+        if not self.backends:
+            self.backends = [BackendSpec(name=DEFAULT_BACKEND_NAME)]
+        backend_names = [backend.name for backend in self.backends]
+        if len(set(backend_names)) != len(backend_names):
+            duplicates = sorted(
+                {n for n in backend_names if backend_names.count(n) > 1}
+            )
+            raise ConfigurationError(
+                f"scenario {self.name!r} has duplicate backend names: "
+                f"{duplicates}"
+            )
+        self.placement = self._resolve_placement(set(backend_names))
+
+    def _resolve_placement(self, backend_names: set[str]) -> dict[str, str]:
+        """Normalise ``placement`` to a complete edge-name -> backend-name map."""
+        default = self.backends[0].name
+        if callable(self.placement):
+            resolved = {edge.name: self.placement(edge) for edge in self.edges}
+        else:
+            given = dict(self.placement or {})
+            unknown_edges = sorted(set(given) - {e.name for e in self.edges})
+            if unknown_edges:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: placement names unknown edges "
+                    f"{unknown_edges}"
+                )
+            resolved = {
+                edge.name: given.get(edge.name, default) for edge in self.edges
+            }
+        unknown = sorted(set(resolved.values()) - backend_names)
+        if unknown:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: placement routes edges to unknown "
+                f"backends {unknown} (have {sorted(backend_names)})"
+            )
+        return resolved
 
     def __len__(self) -> int:
         return len(self.edges)
@@ -210,6 +410,55 @@ class ScenarioSpec:
                 return edge
         raise KeyError(f"no edge named {name!r} in scenario {self.name!r}")
 
+    # ------------------------------------------------------------------
+    # Backend tier
+    # ------------------------------------------------------------------
+
+    def backend(self, name: str) -> BackendSpec:
+        """The backend spec named ``name``."""
+        for backend in self.backends:
+            if backend.name == name:
+                return backend
+        raise KeyError(f"no backend named {name!r} in scenario {self.name!r}")
+
+    def backend_for(self, edge_name: str) -> BackendSpec:
+        """The backend serving the edge named ``edge_name``."""
+        target = self.placement.get(edge_name)
+        if target is None:
+            raise KeyError(
+                f"no edge named {edge_name!r} in scenario {self.name!r}"
+            )
+        return self.backend(target)
+
+    def edges_on(self, backend_name: str) -> list[EdgeSpec]:
+        """Every edge placed on ``backend_name``, in spec order."""
+        self.backend(backend_name)  # raise KeyError for unknown backends
+        return [
+            edge
+            for edge in self.edges
+            if self.placement[edge.name] == backend_name
+        ]
+
+    def backend_deplist_max(self, backend: BackendSpec) -> int:
+        """The effective dependency-list bound of ``backend``."""
+        return (
+            self.deplist_max
+            if backend.deplist_max is None
+            else backend.deplist_max
+        )
+
+    def backend_timing(self, backend: BackendSpec) -> TimingConfig:
+        """The effective timing profile of ``backend``."""
+        return self.timing if backend.timing is None else backend.timing
+
+    def backend_pruning_policy(self, backend: BackendSpec) -> str:
+        """The effective pruning policy of ``backend``."""
+        return (
+            self.pruning_policy
+            if backend.pruning_policy is None
+            else backend.pruning_policy
+        )
+
     @classmethod
     def from_column(
         cls,
@@ -218,12 +467,15 @@ class ScenarioSpec:
         *,
         read_workload: Workload | None = None,
         name: str = "column",
+        backends: list[BackendSpec] | None = None,
     ) -> "ScenarioSpec":
         """A one-edge scenario equivalent to a legacy single-column run.
 
-        The resulting spec executes bit-identically to the pre-scenario
-        ``run_column`` for the same config and workloads (the golden
-        equivalence asserted by the integration tests).
+        With the default ``backends`` the resulting spec executes
+        bit-identically to the pre-scenario ``run_column`` for the same
+        config and workloads (the golden equivalence asserted by the
+        integration tests); pass a custom tier (e.g. a sharded
+        :class:`BackendSpec`) to re-run a column against it.
         """
         edge = EdgeSpec(
             name="edge0",
@@ -250,6 +502,7 @@ class ScenarioSpec:
             pruning_policy=config.pruning_policy,
             timing=config.timing,
             monitor_window=config.monitor_window,
+            backends=list(backends) if backends else [],
         )
 
     def edge_config(self, edge: EdgeSpec) -> "ColumnConfig":
@@ -257,10 +510,12 @@ class ScenarioSpec:
 
         Used to stamp per-edge results with a self-describing config;
         ``deplist_limit`` has no single-column equivalent and is carried by
-        the edge spec only.
+        the edge spec only. Backend-level overrides (deplist bound, timing,
+        pruning) resolve through the edge's assigned backend.
         """
         from repro.experiments.config import ColumnConfig
 
+        backend = self.backend_for(edge.name)
         return ColumnConfig(
             seed=self.seed,
             duration=self.duration,
@@ -268,21 +523,26 @@ class ScenarioSpec:
             update_rate=edge.update_rate,
             read_rate=edge.read_rate,
             read_gap=edge.read_gap,
-            deplist_max=self.deplist_max,
-            pruning_policy=self.pruning_policy,
+            deplist_max=self.backend_deplist_max(backend),
+            pruning_policy=self.backend_pruning_policy(backend),
             strategy=edge.strategy,
             cache_kind=edge.cache_kind,
             ttl=edge.ttl,
             cache_capacity=edge.cache_capacity,
             invalidation_loss=edge.invalidation_loss,
             invalidation_latency_mean=edge.invalidation_latency_mean,
-            timing=self.timing,
+            timing=self.backend_timing(backend),
             monitor_window=self.monitor_window,
             retry_aborted_reads=edge.retry_aborted_reads,
         )
 
     def as_dict(self) -> dict[str, object]:
-        """JSON-safe description of the whole topology."""
+        """JSON-safe description of the whole topology.
+
+        Round-trips through :meth:`from_dict` when every edge workload is
+        portable (the synthetic families), so ``--json`` scenario artifacts
+        can be replayed from the CLI.
+        """
         return {
             "scenario": self.name,
             "description": self.description,
@@ -294,4 +554,33 @@ class ScenarioSpec:
             "timing": asdict(self.timing),
             "monitor_window": self.monitor_window,
             "edges": [edge.as_dict() for edge in self.edges],
+            "backends": [backend.as_dict() for backend in self.backends],
+            "placement": dict(self.placement),
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ScenarioSpec":
+        """Rebuild a scenario from :meth:`as_dict` output (the round-trip
+        loader behind ``repro-experiments scenario --spec file.json``).
+
+        Payloads from before the backend tier (no ``backends`` key) load
+        onto the default single backend.
+        """
+        timing = payload.get("timing")
+        return cls(
+            name=payload.get("scenario") or payload.get("name") or "scenario",
+            description=payload.get("description", ""),
+            seed=payload.get("seed", 1),
+            duration=payload.get("duration", 30.0),
+            warmup=payload.get("warmup", 5.0),
+            deplist_max=payload.get("deplist_max", 5),
+            pruning_policy=payload.get("pruning_policy", "lru"),
+            timing=TimingConfig() if timing is None else TimingConfig(**timing),
+            monitor_window=payload.get("monitor_window", 1.0),
+            edges=[EdgeSpec.from_dict(edge) for edge in payload["edges"]],
+            backends=[
+                BackendSpec.from_dict(backend)
+                for backend in payload.get("backends", [])
+            ],
+            placement=payload.get("placement"),
+        )

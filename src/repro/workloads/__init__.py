@@ -11,6 +11,7 @@ co-purchase and Orkut friendship snapshots, down-sampled by random walks with
 """
 
 from repro.workloads.base import Workload, key_for, index_of
+from repro.workloads.codec import workload_from_dict, workload_to_dict
 from repro.workloads.graphs import (
     GraphStats,
     amazon_like_graph,
@@ -55,4 +56,6 @@ __all__ = [
     "random_walk_sample",
     "save_trace",
     "topology_stats",
+    "workload_from_dict",
+    "workload_to_dict",
 ]

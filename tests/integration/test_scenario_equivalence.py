@@ -28,7 +28,12 @@ from repro.experiments.config import CacheKind, ColumnConfig
 from repro.experiments.sweep import SweepPoint, SweepSpec, run_sweep
 from repro.monitor.monitor import ConsistencyMonitor
 from repro.monitor.stats import CLASSES, ClassCounts
-from repro.scenario import ScenarioSpec, heterogeneous_loss_fleet, run_scenario
+from repro.scenario import (
+    BackendSpec,
+    ScenarioSpec,
+    heterogeneous_loss_fleet,
+    run_scenario,
+)
 from repro.sim.channel import Channel
 from repro.sim.core import Simulator
 from repro.sim.rng import RngStreams
@@ -189,6 +194,42 @@ class TestGoldenEquivalence:
         golden = legacy_run_column(config, workload)
         scenario = scenario_view(config, workload)
         assert golden == scenario
+
+    def test_explicit_default_backend_matches_seed_runner(self) -> None:
+        """The backend-tier acceptance contract: a spec with one explicitly
+        passed default ``BackendSpec`` (and an explicit placement) is
+        bit-identical to the seed wiring — the tier refactor changed no
+        observable behaviour of the single-backend path."""
+        config = quick_config(strategy=Strategy.RETRY)
+        golden = legacy_run_column(config, WORKLOAD)
+
+        explicit = ScenarioSpec.from_column(
+            config, WORKLOAD, backends=[BackendSpec(name="db")]
+        )
+        result = run_scenario(explicit)
+        edge = result.edges[0]
+        via_backends = {
+            "counts": edge.counts.as_dict(),
+            "series": edge.series,
+            "cache_stats": asdict(edge.cache_stats),
+            "db_stats": asdict(edge.db_stats),
+            "channel_stats": asdict(edge.channel_stats),
+            "update_client_stats": asdict(edge.update_client_stats),
+            "read_client_stats": asdict(edge.read_client_stats),
+            "detections": (
+                edge.detections_eq1,
+                edge.detections_eq2,
+                edge.retries_resolved,
+            ),
+        }
+        assert json.dumps(golden, sort_keys=True) == json.dumps(
+            via_backends, sort_keys=True
+        )
+        # The per-backend view of the one-backend run agrees with the fleet.
+        assert result.backends[0].counts.as_dict() == golden["counts"]
+        assert result.fleet.inconsistency_by_backend == {
+            "db": result.fleet.inconsistency_ratio
+        }
 
 
 class TestScenarioSweepDeterminism:

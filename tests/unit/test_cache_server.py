@@ -135,3 +135,35 @@ class TestInvalidations:
         result = cache.read(2, "a", last_op=True)
         assert result.version == 0
         assert backend.version_of("a") == 1
+
+    def test_foreign_namespace_invalidation_rejected(self, sim) -> None:
+        """Versions are incomparable across backends: a record stamped with
+        another backend's namespace means crossed wiring, not staleness."""
+        from repro.db.database import Database, DatabaseConfig
+        from repro.errors import SimulationError
+
+        database = Database(sim, DatabaseConfig(name="eu-db"))
+        database.load({"a": 0})
+        cache = CacheServer(sim, database)
+        assert cache.backend_namespace == "eu-db"
+        cache.handle_invalidation(
+            InvalidationRecord(
+                key="a", version=1, txn_id=1, commit_time=0.0, namespace="eu-db"
+            )
+        )
+        with pytest.raises(SimulationError, match="namespace"):
+            cache.handle_invalidation(
+                InvalidationRecord(
+                    key="a", version=1, txn_id=1, commit_time=0.0,
+                    namespace="us-db",
+                )
+            )
+
+    def test_namespace_guard_skipped_for_plain_backends(self, cache) -> None:
+        """Test doubles without a namespace keep working untagged."""
+        assert cache.backend_namespace is None
+        cache.handle_invalidation(
+            InvalidationRecord(
+                key="a", version=1, txn_id=1, commit_time=0.0, namespace="db"
+            )
+        )

@@ -71,13 +71,14 @@ class TestCli:
         ) == 0
         out = capsys.readouterr().out
         assert "per-edge view" in out and "fleet aggregates" in out
+        assert "per-backend view" in out
 
         import json as json_module
 
         with open(path) as handle:
             payload = json_module.load(handle)
         (experiment,) = payload["experiments"]
-        per_edge, per_fleet = experiment["sections"]
+        per_edge, per_backend, per_fleet = experiment["sections"]
         fleet_rows = [
             row for row in per_edge["rows"] if row["scenario"] == "hetero-loss"
         ]
@@ -89,6 +90,16 @@ class TestCli:
         )
         assert aggregate["edges"] == 3
         assert "backend_reads_per_s" in aggregate
+        # The routed-tier scenarios run by default (--backends 2) and show
+        # per-backend rows with distinct backends.
+        regional = [
+            row for row in per_backend["rows"]
+            if row["scenario"] == "regional-backends"
+        ]
+        assert len(regional) == 2
+        assert {row["backend"] for row in regional} == {
+            "region0-db", "region1-db",
+        }
         # The sweep spec records the whole topology per point.
         spec = experiment["sweep_specs"][0]
         scenario_column = spec["columns"][0]
@@ -98,6 +109,90 @@ class TestCli:
         with pytest.raises(SystemExit) as excinfo:
             main(["scenario", "--edges", "0"])
         assert excinfo.value.code == 2
+
+    def test_invalid_backends_rejected(self, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scenario", "--backends", "0"])
+        assert excinfo.value.code == 2
+
+    def test_spec_flag_only_for_scenario(self, tmp_path, capsys) -> None:
+        path = tmp_path / "spec.json"
+        path.write_text("{}")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig7ab", "--spec", str(path)])
+        assert excinfo.value.code == 2
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scenario", "--spec", str(tmp_path / "missing.json")])
+        assert excinfo.value.code == 2
+
+    def test_spec_replay_round_trips_a_saved_scenario(
+        self, tmp_path, capsys
+    ) -> None:
+        """`scenario --spec file.json` replays a ScenarioSpec.as_dict file."""
+        from repro.scenario import regional_backends_scenario
+
+        spec = regional_backends_scenario(
+            regions=2,
+            edges_per_region=2,
+            objects_per_region=100,
+            duration=1.0,
+            warmup=0.5,
+        )
+        path = tmp_path / "saved.json"
+        path.write_text(json.dumps(spec.as_dict()))
+        out_path = tmp_path / "replay.json"
+        assert main(
+            ["scenario", "--spec", str(path), "--json", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per-backend view" in out
+        with open(out_path) as handle:
+            payload = json.load(handle)
+        (experiment,) = payload["experiments"]
+        per_edge, per_backend, _ = experiment["sections"]
+        assert len(per_edge["rows"]) == 4
+        assert {row["backend"] for row in per_backend["rows"]} == {
+            "region0-db", "region1-db",
+        }
+
+    def test_spec_replay_honours_explicit_duration(self, tmp_path) -> None:
+        """--duration overrides the recorded duration; omitting it keeps
+        the spec file's value."""
+        from repro.experiments.scenarios import run_spec_file
+        from repro.scenario import heterogeneous_loss_fleet
+
+        spec = heterogeneous_loss_fleet(
+            edges=2, n_objects=100, duration=2.0, warmup=0.5
+        )
+        path = tmp_path / "saved.json"
+        path.write_text(json.dumps(spec.as_dict()))
+        recorded, *_ = run_spec_file(str(path))
+        assert recorded.points[0].scenario.duration == 2.0
+        overridden, *_ = run_spec_file(str(path), duration=1.0)
+        assert overridden.points[0].scenario.duration == 1.0
+        assert main(
+            ["scenario", "--spec", str(path), "--duration", "1", "--jobs", "1"]
+        ) == 0
+
+    def test_spec_replay_artifact_records_actual_duration(
+        self, tmp_path
+    ) -> None:
+        """Without --duration the artifact metadata must report the spec
+        file's recorded duration, not the global default of 30."""
+        from repro.scenario import heterogeneous_loss_fleet
+
+        spec = heterogeneous_loss_fleet(
+            edges=2, n_objects=100, duration=2.0, warmup=0.5
+        )
+        path = tmp_path / "saved.json"
+        path.write_text(json.dumps(spec.as_dict()))
+        out_path = tmp_path / "out.json"
+        assert main(
+            ["scenario", "--spec", str(path), "--jobs", "1",
+             "--json", str(out_path)]
+        ) == 0
+        with open(out_path) as handle:
+            assert json.load(handle)["duration"] == 2.0
 
     def test_json_artifact_embeds_sweep_configs(self, tmp_path) -> None:
         path = tmp_path / "fig3.json"

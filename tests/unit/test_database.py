@@ -192,11 +192,39 @@ class TestSharding:
         assert first == second
         assert len(set(first)) > 1
 
+    def test_shard_placement_is_process_independent(self, sim, fast_timing) -> None:
+        """Placement must not depend on the per-process ``hash`` salt.
+
+        Builtin ``hash(str)`` is salted via PYTHONHASHSEED, so using it
+        would give each multiprocessing sweep worker its own placement and
+        break serial == parallel determinism. CRC-32 is stable: pin the
+        exact placement here so any regression to a salted hash fails.
+        """
+        import zlib
+
+        database = Database(sim, DatabaseConfig(shards=4, timing=fast_timing))
+        for key in [f"k{i}" for i in range(50)]:
+            expected = zlib.crc32(key.encode("utf-8")) % 4
+            assert database.shard_for(key) is database.participants[expected]
+
     def test_invalid_config_rejected(self) -> None:
         with pytest.raises(ConfigurationError):
             DatabaseConfig(shards=0)
         with pytest.raises(ConfigurationError):
             DatabaseConfig(deplist_max=-5)
+
+    def test_unknown_pruning_policy_rejected_at_config_time(self) -> None:
+        with pytest.raises(ConfigurationError, match="pruning policy"):
+            DatabaseConfig(pruning_policy="lru ")  # a typo, caught early
+        for policy in ("lru", "newest-version", "random"):
+            assert DatabaseConfig(pruning_policy=policy).pruning_policy == policy
+
+    def test_namespace_is_the_configured_name(self, sim, fast_timing) -> None:
+        database = Database(
+            sim, DatabaseConfig(name="eu-db", timing=fast_timing)
+        )
+        assert database.namespace == "eu-db"
+        assert Database(sim).namespace == "db"
 
 
 class TestTimingRealism:

@@ -88,6 +88,81 @@ class TestClassification:
         assert monitor.summary.update_commits == 1
 
 
+class TestBackendNamespaces:
+    def test_first_bound_backend_shares_the_default_tester(self, sim) -> None:
+        monitor = ConsistencyMonitor(sim)
+        tester = monitor.bind_backend("db")
+        assert tester is monitor.tester
+        assert monitor.tester.namespace == "db"
+        # Untagged (legacy) updates and "db"-tagged reads meet in one graph.
+        monitor.record_update(update(1, ["a", "b"], {"a": 0, "b": 0}))
+        monitor.record_read_only(read_only(1, {"a": 0, "b": 1}), backend="db")
+        assert monitor.summary.read_only.inconsistent == 1
+
+    def test_later_backends_get_independent_graphs(self, sim) -> None:
+        monitor = ConsistencyMonitor(sim)
+        monitor.bind_backend("eu")
+        monitor.bind_backend("us")
+        assert monitor.backend_namespaces == ["eu", "us"]
+        assert monitor.tester_for("us") is not monitor.tester_for("eu")
+        # Both backends commit their own txn 1 — no "recorded twice" clash,
+        # the (backend, version) keying keeps the histories apart.
+        monitor.record_update(update(1, ["a", "b"], {"a": 0, "b": 0}), backend="eu")
+        monitor.record_update(update(1, ["a"], {"a": 0}), backend="us")
+        # (a@0, b@1) is stale on eu's history...
+        monitor.record_read_only(read_only(1, {"a": 0, "b": 1}), backend="eu")
+        # ...while the same version pattern on us — whose txn 1 wrote only a
+        # — is a different, consistent observation (b@0 is the initial load).
+        monitor.record_read_only(read_only(2, {"a": 1, "b": 0}), backend="us")
+        assert monitor.summary.read_only.inconsistent == 1
+        assert monitor.summary.read_only.consistent == 1
+        assert monitor.backend_summaries["eu"].read_only.inconsistent == 1
+        assert monitor.backend_summaries["us"].read_only.consistent == 1
+
+    def test_per_backend_views_sum_to_fleet(self, sim) -> None:
+        monitor = ConsistencyMonitor(sim)
+        for backend in ("eu", "us"):
+            monitor.bind_backend(backend)
+            monitor.record_update(
+                update(1, ["a", "b"], {"a": 0, "b": 0}), backend=backend
+            )
+        monitor.record_read_only(read_only(1, {"a": 1, "b": 1}), backend="eu")
+        monitor.record_read_only(read_only(2, {"a": 0, "b": 1}), backend="us")
+        monitor.record_read_only(read_only(3, {"a": 1}), backend="us")
+        total = monitor.summary.read_only.total
+        assert total == 3
+        assert total == sum(
+            summary.read_only.total
+            for summary in monitor.backend_summaries.values()
+        )
+        assert set(monitor.backend_series) == {"eu", "us"}
+
+    def test_unknown_namespace_rejected_instead_of_lazily_created(
+        self, sim
+    ) -> None:
+        """A typo'd backend tag must not classify against an empty history
+        (which would report everything as consistent)."""
+        from repro.errors import SimulationError
+
+        monitor = ConsistencyMonitor(sim)
+        monitor.bind_backend("eu")
+        monitor.record_update(update(1, ["a"], {"a": 0}), backend="eu")
+        with pytest.raises(SimulationError, match="unknown backend"):
+            monitor.record_read_only(read_only(1, {"a": 0}), backend="eu-db")
+        with pytest.raises(SimulationError, match="unknown backend"):
+            monitor.record_update(update(2, ["a"], {"a": 1}), backend="us")
+
+    def test_source_and_backend_tags_compose(self, sim) -> None:
+        monitor = ConsistencyMonitor(sim)
+        monitor.bind_backend("eu")
+        monitor.record_update(update(1, ["a"], {"a": 0}), backend="eu")
+        monitor.record_read_only(
+            read_only(1, {"a": 1}), source="edge0", backend="eu"
+        )
+        assert monitor.source_summaries["edge0"].read_only.consistent == 1
+        assert monitor.backend_summaries["eu"].read_only.consistent == 1
+
+
 class TestSeries:
     def test_records_land_in_time_windows(self, sim) -> None:
         monitor = ConsistencyMonitor(sim, window=1.0)

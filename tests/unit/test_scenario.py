@@ -9,12 +9,16 @@ from repro.core.strategies import Strategy
 from repro.errors import ConfigurationError
 from repro.experiments.config import ColumnConfig
 from repro.scenario import (
+    DEFAULT_BACKEND_NAME,
+    BackendSpec,
     EdgeSpec,
     ScenarioSpec,
     build_scenario,
     flash_crowd_scenario,
     geo_skewed_scenario,
     heterogeneous_loss_fleet,
+    hot_backend_overload,
+    regional_backends_scenario,
     run_scenario,
 )
 from repro.scenario.runner import TXN_ID_STRIDE
@@ -123,6 +127,219 @@ class TestSpecValidation:
         text = json.loads(json.dumps(payload))
         assert [e["name"] for e in text["edges"]] == ["a", "b"]
         assert text["edges"][1]["cache_kind"] == "PLAIN"
+
+
+class TestBackendTier:
+    def test_default_tier_is_one_default_backend(self) -> None:
+        spec = tiny_scenario(edge("a"), edge("b"))
+        assert [b.name for b in spec.backends] == [DEFAULT_BACKEND_NAME]
+        assert spec.placement == {"a": "db", "b": "db"}
+        assert spec.backend_for("a").name == "db"
+
+    def test_backend_spec_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            BackendSpec(name="")
+        with pytest.raises(ConfigurationError):
+            BackendSpec(name="b", shards=0)
+        with pytest.raises(ConfigurationError):
+            BackendSpec(name="b", deplist_max=-2)
+        with pytest.raises(ConfigurationError, match="pruning policy"):
+            BackendSpec(name="b", pruning_policy="oldest")
+
+    def test_duplicate_backend_names_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="duplicate backend"):
+            tiny_scenario(
+                backends=[BackendSpec(name="b"), BackendSpec(name="b")]
+            )
+
+    def test_placement_mapping_resolved_and_validated(self) -> None:
+        backends = [BackendSpec(name="eu"), BackendSpec(name="us")]
+        spec = tiny_scenario(
+            edge("a"), edge("b"), edge("c"),
+            backends=backends,
+            placement={"b": "us"},
+        )
+        # Unmapped edges land on the first backend.
+        assert spec.placement == {"a": "eu", "b": "us", "c": "eu"}
+        assert [e.name for e in spec.edges_on("eu")] == ["a", "c"]
+        assert spec.backend_for("b").name == "us"
+        with pytest.raises(ConfigurationError, match="unknown backends"):
+            tiny_scenario(
+                edge("a"), backends=backends, placement={"a": "ap"}
+            )
+        with pytest.raises(ConfigurationError, match="unknown edges"):
+            tiny_scenario(
+                edge("a"), backends=backends, placement={"ghost": "eu"}
+            )
+
+    def test_placement_callable_resolved_to_mapping(self) -> None:
+        backends = [BackendSpec(name="eu"), BackendSpec(name="us")]
+        spec = tiny_scenario(
+            edge("a"), edge("b"),
+            backends=backends,
+            placement=lambda e: "us" if e.name == "b" else "eu",
+        )
+        assert spec.placement == {"a": "eu", "b": "us"}
+
+    def test_backend_overrides_resolve_through_scenario(self) -> None:
+        backend = BackendSpec(name="big", deplist_max=9, pruning_policy="random")
+        spec = tiny_scenario(edge("a"), backends=[backend], deplist_max=3)
+        assert spec.backend_deplist_max(backend) == 9
+        assert spec.backend_pruning_policy(backend) == "random"
+        assert spec.backend_timing(backend) is spec.timing
+        config = spec.edge_config(spec.edges[0])
+        assert config.deplist_max == 9
+        assert config.pruning_policy == "random"
+
+    def test_unknown_pruning_policy_rejected_at_spec_level(self) -> None:
+        with pytest.raises(ConfigurationError, match="pruning policy"):
+            tiny_scenario(pruning_policy="fifo")
+
+    def test_two_backends_wire_independent_databases(self) -> None:
+        spec = tiny_scenario(
+            edge("a"), edge("b"),
+            backends=[BackendSpec(name="eu"), BackendSpec(name="us", shards=2)],
+            placement={"a": "eu", "b": "us"},
+        )
+        scenario = build_scenario(spec)
+        assert [db.namespace for db in scenario.databases] == ["eu", "us"]
+        assert scenario.backend("us") is not scenario.backend("eu")
+        assert len(scenario.backend("us").participants) == 2
+        # Each backend fans invalidations out to its own edges only.
+        assert len(scenario.backend("eu")._invalidation_channels) == 1
+        assert len(scenario.backend("us")._invalidation_channels) == 1
+        assert scenario.edge("a").database is scenario.backend("eu")
+        assert scenario.edge("b").database is scenario.backend("us")
+        # Each backend loads only its own edges' key universe.
+        for wired in scenario.edges:
+            for key in wired.spec.workload.all_keys():
+                assert wired.database.read_entry(key).version == 0
+
+    def test_version_namespaces_keep_overlapping_versions_apart(self) -> None:
+        """Two backends both allocate versions 1, 2, 3, ... — the run must
+        classify without tripping the monitor's duplicate detection."""
+        spec = tiny_scenario(
+            edge("a"), edge("b"),
+            backends=[BackendSpec(name="eu"), BackendSpec(name="us")],
+            placement={"a": "eu", "b": "us"},
+            duration=1.0,
+            warmup=0.5,
+        )
+        result = run_scenario(spec)
+        assert result.db_stats.committed > 0
+        eu = result.backend("eu")
+        us = result.backend("us")
+        assert eu.update_commits > 0 and us.update_commits > 0
+        assert (
+            result.db_stats.committed == eu.update_commits + us.update_commits
+        )
+
+    def test_per_backend_aggregates_sum_to_fleet(self) -> None:
+        spec = tiny_scenario(
+            edge("a"), edge("b"), edge("c", read_rate=200.0),
+            backends=[BackendSpec(name="eu"), BackendSpec(name="us")],
+            placement={"a": "eu", "b": "us", "c": "us"},
+            duration=2.0,
+            warmup=0.5,
+        )
+        result = run_scenario(spec)
+        assert [a.name for a in result.backends] == ["eu", "us"]
+        assert sum(a.counts.total for a in result.backends) == (
+            result.fleet.counts.total
+        )
+        assert sum(a.db_accesses for a in result.backends) == (
+            result.fleet.db_accesses
+        )
+        assert result.fleet.update_commits == sum(
+            a.update_commits for a in result.backends
+        )
+        assert set(result.fleet.inconsistency_by_backend) == {"eu", "us"}
+        # Edges on the same backend share its stats object; the tier total
+        # is a synthesised sum.
+        assert result.edge("b").db_stats is result.edge("c").db_stats
+        assert result.edge("a").db_stats is not result.edge("b").db_stats
+
+    def test_single_backend_keeps_identity_contract(self) -> None:
+        result = run_scenario(tiny_scenario(edge("a"), edge("b")))
+        assert result.db_stats is result.edges[0].db_stats
+        assert len(result.backends) == 1
+        assert result.backends[0].name == DEFAULT_BACKEND_NAME
+        assert result.backends[0].counts.total == result.fleet.counts.total
+
+
+class TestSpecRoundTrip:
+    def test_as_dict_from_dict_round_trip_runs_identically(self) -> None:
+        import json
+
+        spec = tiny_scenario(
+            edge("a"), edge("b", cache_kind=CacheKind.PLAIN),
+            backends=[BackendSpec(name="eu"), BackendSpec(name="us", shards=2)],
+            placement={"b": "us"},
+            duration=1.0,
+            warmup=0.5,
+        )
+        payload = json.loads(json.dumps(spec.as_dict()))
+        rebuilt = ScenarioSpec.from_dict(payload)
+        assert rebuilt.placement == spec.placement
+        assert [b.name for b in rebuilt.backends] == ["eu", "us"]
+        assert run_scenario(rebuilt).to_artifact() == run_scenario(spec).to_artifact()
+
+    def test_result_artifact_replays_as_spec(self) -> None:
+        """The merged backend records in a result artifact still load."""
+        import json
+
+        result = run_scenario(
+            tiny_scenario(
+                edge("a"),
+                backends=[BackendSpec(name="solo", deplist_max=7)],
+                duration=1.0,
+                warmup=0.5,
+            )
+        )
+        payload = json.loads(json.dumps(result.to_artifact()))
+        rebuilt = ScenarioSpec.from_dict(payload)
+        assert rebuilt.backends[0].name == "solo"
+        assert rebuilt.backends[0].deplist_max == 7
+
+    def test_pre_backend_payloads_load_onto_default_tier(self) -> None:
+        payload = tiny_scenario(edge("a")).as_dict()
+        payload.pop("backends")
+        payload.pop("placement")
+        rebuilt = ScenarioSpec.from_dict(payload)
+        assert [b.name for b in rebuilt.backends] == [DEFAULT_BACKEND_NAME]
+
+    def test_non_portable_workload_rejected_with_clear_error(self) -> None:
+        class Opaque:
+            def access_set(self, rng, now):  # pragma: no cover - unused
+                return []
+
+            def all_keys(self):
+                return ["o000000"]
+
+        spec = tiny_scenario(edge("a", workload=Opaque()))
+        payload = spec.as_dict()
+        assert payload["edges"][0]["workload_spec"] is None
+        with pytest.raises(ConfigurationError, match="workload_spec"):
+            ScenarioSpec.from_dict(payload)
+
+    def test_non_portable_read_workload_rejected_not_dropped(self) -> None:
+        """An edge whose read workload can't serialise must fail replay
+        loudly — rebuilding with read_workload=None would silently drive
+        reads from the update workload instead."""
+
+        class Opaque:
+            def access_set(self, rng, now):  # pragma: no cover - unused
+                return []
+
+            def all_keys(self):
+                return ["o000000"]
+
+        spec = tiny_scenario(edge("a", read_workload=Opaque()))
+        payload = spec.as_dict()
+        assert payload["edges"][0]["workload_spec"] is not None
+        assert payload["edges"][0]["read_workload_spec"] is None
+        with pytest.raises(ConfigurationError, match="read workload"):
+            ScenarioSpec.from_dict(payload)
 
 
 class TestWiring:
@@ -268,6 +485,47 @@ class TestLibrary:
             geo_skewed_scenario(regions=1)
         with pytest.raises(ConfigurationError):
             flash_crowd_scenario(hot_objects=500, n_objects=100)
+        with pytest.raises(ConfigurationError):
+            regional_backends_scenario(regions=0)
+        with pytest.raises(ConfigurationError):
+            regional_backends_scenario(edges_per_region=0)
+        with pytest.raises(ConfigurationError):
+            hot_backend_overload(backends=1)
+        with pytest.raises(ConfigurationError):
+            hot_backend_overload(hot_objects=500, n_objects=100)
+
+    def test_regional_backends_routes_each_region_to_its_backend(self) -> None:
+        spec = regional_backends_scenario(
+            regions=3, edges_per_region=2, objects_per_region=100
+        )
+        assert len(spec.backends) == 3
+        assert len(spec) == 6
+        for edge_spec in spec.edges:
+            region = edge_spec.name.split("-")[0]
+            assert spec.placement[edge_spec.name] == f"{region}-db"
+        # Regions own disjoint slices.
+        slices = [
+            set(e.workload.all_keys()) for e in spec.edges if "edge0" in e.name
+        ]
+        for i, left in enumerate(slices):
+            for right in slices[i + 1:]:
+                assert not left & right
+
+    def test_hot_backend_overload_concentrates_load(self) -> None:
+        result = run_scenario(
+            hot_backend_overload(
+                backends=2,
+                n_objects=200,
+                hot_objects=50,
+                crowd_read_rate=600.0,
+                duration=1.5,
+                warmup=0.5,
+            )
+        )
+        hot = result.backend("backend0")
+        quiet = result.backend("backend1")
+        assert hot.counts.total > quiet.counts.total
+        assert hot.update_commits > quiet.update_commits
 
 
 class TestMixedWorkloadWrappers:

@@ -164,3 +164,74 @@ class TestDrift:
     def test_invalid_interval_rejected(self) -> None:
         with pytest.raises(ConfigurationError):
             DriftingClusterWorkload(shift_interval=0.0)
+
+
+class TestCodec:
+    """JSON round-tripping of the portable workload families."""
+
+    def round_trip(self, workload):
+        import json
+
+        from repro.workloads.codec import workload_from_dict, workload_to_dict
+
+        payload = json.loads(json.dumps(workload_to_dict(workload)))
+        return workload_from_dict(payload)
+
+    def test_flat_families_round_trip(self) -> None:
+        for workload in (
+            UniformWorkload(n_objects=50, txn_size=3),
+            PerfectClusterWorkload(n_objects=50, cluster_size=5),
+            ParetoClusterWorkload(n_objects=50, cluster_size=5, alpha=0.5),
+            DriftingClusterWorkload(
+                n_objects=50, cluster_size=5, shift_interval=7.0
+            ),
+        ):
+            rebuilt = self.round_trip(workload)
+            assert type(rebuilt) is type(workload)
+            assert list(rebuilt.all_keys()) == list(workload.all_keys())
+
+    def test_round_trip_preserves_draw_sequence(self) -> None:
+        workload = ParetoClusterWorkload(n_objects=50, cluster_size=5, alpha=0.5)
+        rebuilt = self.round_trip(workload)
+        left = workload.access_set(np.random.default_rng(3), 0.0)
+        right = rebuilt.access_set(np.random.default_rng(3), 0.0)
+        assert left == right
+
+    def test_wrappers_round_trip_recursively(self) -> None:
+        from repro.workloads.synthetic import MixtureWorkload, OffsetWorkload
+
+        offset = OffsetWorkload(UniformWorkload(n_objects=10), offset=100)
+        rebuilt = self.round_trip(offset)
+        assert list(rebuilt.all_keys()) == list(offset.all_keys())
+
+        mixture = MixtureWorkload(
+            [(0.75, UniformWorkload(n_objects=10)), (0.25, offset)]
+        )
+        rebuilt = self.round_trip(mixture)
+        assert [w for w, _ in rebuilt.components] == [0.75, 0.25]
+        assert list(rebuilt.all_keys()) == list(mixture.all_keys())
+
+        phases = PhaseSwitchWorkload(
+            UniformWorkload(n_objects=20),
+            PerfectClusterWorkload(n_objects=20, cluster_size=5),
+            switch_time=3.0,
+        )
+        rebuilt = self.round_trip(phases)
+        assert rebuilt.switch_time == 3.0
+        assert type(rebuilt.after) is PerfectClusterWorkload
+
+    def test_non_portable_types_rejected(self) -> None:
+        from repro.workloads.codec import workload_from_dict, workload_to_dict
+
+        with pytest.raises(ConfigurationError, match="not portable"):
+            workload_to_dict(object())
+        with pytest.raises(ConfigurationError):
+            workload_from_dict({"type": "NoSuchWorkload"})
+        with pytest.raises(ConfigurationError):
+            workload_from_dict({"n_objects": 5})
+        # A misspelled field in a hand-edited spec gets the codec's clean
+        # error, not a raw TypeError from the constructor.
+        with pytest.raises(ConfigurationError, match="bad UniformWorkload"):
+            workload_from_dict(
+                {"type": "UniformWorkload", "n_objects": 5, "txn_siz": 3}
+            )
