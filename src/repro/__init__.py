@@ -57,10 +57,12 @@ from repro.scenario import (
     ScenarioResult,
     ScenarioSpec,
     build_scenario,
+    capacity_planning_sweep,
     flash_crowd_scenario,
     geo_skewed_scenario,
     heterogeneous_loss_fleet,
     hot_backend_overload,
+    region_failure_drill,
     regional_backends_scenario,
     run_scenario,
 )
@@ -79,7 +81,7 @@ from repro.workloads.synthetic import (
 )
 from repro.workloads.walker import RandomWalkWorkload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BackendAggregates",
@@ -126,12 +128,14 @@ __all__ = [
     "amazon_like_graph",
     "build_column",
     "build_scenario",
+    "capacity_planning_sweep",
     "check_read",
     "flash_crowd_scenario",
     "geo_skewed_scenario",
     "heterogeneous_loss_fleet",
     "hot_backend_overload",
     "orkut_like_graph",
+    "region_failure_drill",
     "regional_backends_scenario",
     "random_walk_sample",
     "run_column",

@@ -1,0 +1,57 @@
+"""Cross-host dispatch: a coordinator/worker work queue for sweeps.
+
+PR 1–3 made the paper's evaluation a declarative grid (``SweepSpec``) over
+declarative topologies (``ScenarioSpec``) on a routed backend tier — but
+execution still lived inside one process tree.  This package takes the
+grid across hosts with nothing but the stdlib:
+
+* :mod:`repro.dispatch.protocol` — length-prefixed JSON frames over TCP;
+  no pickling, bounded sizes, loud failures on malformed input.
+* :mod:`repro.dispatch.queue` — the coordinator's lease-based work queue:
+  chunks of point indices leased to named workers, heartbeat-extended,
+  re-queued on connection loss or lease expiry, first-writer-wins results.
+* :mod:`repro.dispatch.codec` — results on the wire; decoding reattaches
+  the coordinator's own spec objects so dispatched artifacts are
+  byte-identical to local ones.
+* :mod:`repro.dispatch.coordinator` — :class:`DispatchSpec` (the
+  ``run_sweep(spec, dispatch=...)`` backend) and :class:`Coordinator`
+  (bind, serve, reassemble in spec order).
+* :mod:`repro.dispatch.worker` — :func:`run_worker`: pull chunks, execute
+  through the sweep engine's own point executor, stream results.
+* :mod:`repro.dispatch.faults` — :class:`FaultPlan` failure drills
+  (crash / stall / disconnect) for rehearsing worker loss.
+
+Determinism contract: points travel as their portable JSON encodings
+(:meth:`SweepPoint.as_dict`), results come back keyed by point index, and
+the coordinator reassembles through the same ordering helper the local
+pool uses — so ``coordinator + N workers`` (even with workers killed
+mid-chunk) produces results byte-identical to ``run_sweep(spec, jobs=1)``.
+Sweeps containing non-portable workloads (graph- or trace-backed) are
+rejected at coordinator construction, before any worker connects.
+"""
+
+from repro.dispatch.coordinator import (
+    Coordinator,
+    DispatchSpec,
+    parse_hostport,
+    run_dispatched,
+)
+from repro.dispatch.faults import FaultPlan
+from repro.dispatch.queue import Chunk, WorkQueue
+from repro.dispatch.worker import WorkerStats, run_worker
+from repro.errors import CoordinatorUnreachable, DispatchError, ProtocolError
+
+__all__ = [
+    "Chunk",
+    "Coordinator",
+    "CoordinatorUnreachable",
+    "DispatchError",
+    "DispatchSpec",
+    "FaultPlan",
+    "ProtocolError",
+    "WorkQueue",
+    "WorkerStats",
+    "parse_hostport",
+    "run_dispatched",
+    "run_worker",
+]

@@ -1,0 +1,124 @@
+"""Length-prefixed JSON framing for the coordinator/worker protocol.
+
+Every dispatch message is one *frame*: a 4-byte big-endian unsigned length
+followed by that many bytes of UTF-8 JSON encoding a single object.  The
+framing is deliberately boring — stdlib ``socket`` on both sides, no
+pickling (frames are inspectable on the wire and survive version skew
+loudly instead of silently), bounded frame sizes so a corrupt or hostile
+length prefix cannot make a peer allocate gigabytes.
+
+The conversation is strictly request/reply from the worker's point of view:
+the worker sends one frame (``hello``, ``request``, ``result``,
+``heartbeat``, ``goodbye``) and reads exactly one reply (``welcome``,
+``chunk``/``wait``/``done``, ``ok``, ``error``).  That keeps both ends free
+of interleaving concerns; the worker's background heartbeat thread shares
+the socket under a lock (see :mod:`repro.dispatch.worker`).
+
+Message types
+-------------
+
+========== ============ ====================================================
+type       direction    payload
+========== ============ ====================================================
+hello      worker → co  ``worker`` (name), ``protocol`` (version)
+welcome    co → worker  ``spec`` (sweep name), ``total_points``
+request    worker → co  —
+chunk      co → worker  ``chunk_id``, ``points``: [{``index``, ``point``}]
+wait       co → worker  ``delay`` (seconds; queue drained but run not done)
+done       co → worker  — (every point has a result; worker should exit)
+result     worker → co  ``index``, ``result`` (encoded, see codec)
+heartbeat  worker → co  — (extends the worker's chunk leases)
+goodbye    worker → co  — (clean disconnect)
+ok         co → worker  ``accepted`` (for results: False on duplicates)
+error      co → worker  ``message`` (protocol violation; connection closes)
+========== ============ ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "recv_frame",
+    "send_frame",
+]
+
+#: Version of the coordinator/worker message schema.  A worker whose
+#: version differs from the coordinator's is refused at ``hello`` time —
+#: mixed fleets must fail loudly, not corrupt results.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's JSON payload.  Scenario results carry full
+#: per-edge time series, so frames are allowed to be large — but never
+#: unbounded: a corrupt length prefix must not turn into a giant allocation.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    """Serialise ``payload`` and send it as one length-prefixed frame."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frames must be JSON objects, got {type(payload).__name__}"
+        )
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte bound"
+        )
+    sock.sendall(_LENGTH.pack(len(body)) + body)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    Raises :class:`ProtocolError` for truncated frames (EOF mid-frame), a
+    length prefix of zero or beyond :data:`MAX_FRAME_BYTES`, payloads that
+    are not valid UTF-8 JSON, and JSON values that are not objects.
+    """
+    header = _recv_exact(sock, _LENGTH.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length == 0:
+        raise ProtocolError("zero-length frame")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte bound"
+        )
+    body = _recv_exact(sock, length, allow_eof=False)
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frames must be JSON objects, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _recv_exact(
+    sock: socket.socket, count: int, *, allow_eof: bool
+) -> bytes | None:
+    """Read exactly ``count`` bytes; ``None`` on immediate EOF if allowed."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if allow_eof and remaining == count:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

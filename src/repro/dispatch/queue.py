@@ -1,0 +1,257 @@
+"""Durable, lease-based work queue behind the dispatch coordinator.
+
+The unit of *assignment* is a :class:`Chunk` — a batch of sweep point
+indices handed to one worker — while the unit of *completion* is a single
+point: workers stream one result frame per point, so a worker that dies
+mid-chunk loses only the points it had not yet reported, never finished
+work.  Every mutation happens under one lock; the queue never blocks, so
+the coordinator's connection handlers stay responsive.
+
+Failure semantics
+-----------------
+
+A chunk is either *pending* (in the queue), *leased* (assigned to a named
+worker until a deadline), or fully *completed*.  Leases are extended by the
+owner's heartbeats and per-point results.  Two paths return lost work to
+the queue:
+
+* :meth:`release` — the coordinator saw the worker's connection die (the
+  fast path: a SIGKILL'd worker's TCP connection closes immediately);
+* lease expiry — a worker that is connected but silent (stalled, swapped
+  out, partitioned) past ``lease_timeout`` is presumed dead; its chunks are
+  re-queued at the *front* so another worker picks them up next.
+
+Either way only indices without results are re-queued, and duplicate
+results — the original worker limping back after its lease was reassigned —
+are ignored with first-writer-wins semantics.  Results are deterministic
+functions of their point, so which writer wins cannot affect the sweep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Chunk", "Lease", "WorkQueue"]
+
+
+@dataclass(slots=True)
+class Chunk:
+    """A batch of sweep point indices assigned to one worker at a time."""
+
+    chunk_id: int
+    indices: tuple[int, ...]
+
+
+@dataclass(slots=True)
+class Lease:
+    """One chunk currently assigned to one worker."""
+
+    chunk: Chunk
+    owner: str
+    deadline: float
+
+
+@dataclass(slots=True)
+class QueueStats:
+    """Counters the coordinator reports after a run."""
+
+    chunks_assigned: int = 0
+    chunks_reassigned: int = 0
+    leases_expired: int = 0
+    duplicate_results: int = 0
+
+
+class WorkQueue:
+    """Thread-compatible queue of sweep point indices with chunk leases.
+
+    Not a thread in itself: the caller (one coordinator handler thread per
+    worker connection) invokes the methods under the queue's internal lock.
+    ``clock`` is injectable for tests; the default is ``time.monotonic``.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        chunk_size: int,
+        lease_timeout: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if total < 0:
+            raise ConfigurationError(f"total must be >= 0, got {total}")
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        if lease_timeout <= 0:
+            raise ConfigurationError(
+                f"lease_timeout must be positive, got {lease_timeout}"
+            )
+        self.total = total
+        self.lease_timeout = lease_timeout
+        self.stats = QueueStats()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._next_chunk_id = 0
+        self._pending: deque[Chunk] = deque()
+        self._leases: dict[int, Lease] = {}
+        self._results: dict[int, object] = {}
+        for start in range(0, total, chunk_size):
+            self._pending.append(
+                Chunk(
+                    chunk_id=self._next_chunk_id,
+                    indices=tuple(range(start, min(start + chunk_size, total))),
+                )
+            )
+            self._next_chunk_id += 1
+
+    # ------------------------------------------------------------------
+    # Worker-facing operations
+    # ------------------------------------------------------------------
+
+    def acquire(self, owner: str) -> Chunk | None:
+        """Lease the next chunk to ``owner``; ``None`` if nothing is pending.
+
+        Expired leases are reaped first, so a dead worker's chunks become
+        acquirable the moment any live worker asks for more work.
+        """
+        with self._lock:
+            self._expire_stale_leases()
+            while self._pending:
+                chunk = self._pending.popleft()
+                remaining = self._unfinished(chunk)
+                if not remaining:
+                    continue  # every index got a result while it waited
+                chunk = Chunk(chunk_id=chunk.chunk_id, indices=remaining)
+                self._leases[chunk.chunk_id] = Lease(
+                    chunk=chunk,
+                    owner=owner,
+                    deadline=self._clock() + self.lease_timeout,
+                )
+                self.stats.chunks_assigned += 1
+                return chunk
+            return None
+
+    def heartbeat(self, owner: str) -> int:
+        """Extend every lease held by ``owner``; returns how many."""
+        with self._lock:
+            deadline = self._clock() + self.lease_timeout
+            extended = 0
+            for lease in self._leases.values():
+                if lease.owner == owner:
+                    lease.deadline = deadline
+                    extended += 1
+            return extended
+
+    def complete(self, index: int, result: object, owner: str) -> bool:
+        """Record one point's result; ``False`` for duplicates (ignored).
+
+        First writer wins: a result for an index that already has one is
+        dropped, which is how a reassigned worker's late results are
+        neutralised.  Accepting results from non-leaseholders is deliberate
+        — the work is deterministic, so finished work is never wasted just
+        because the lease moved on.
+        """
+        if not 0 <= index < self.total:
+            raise ConfigurationError(
+                f"result index {index} outside sweep of {self.total} points"
+            )
+        with self._lock:
+            if index in self._results:
+                self.stats.duplicate_results += 1
+                return False
+            self._results[index] = result
+            deadline = self._clock() + self.lease_timeout
+            for lease in self._leases.values():
+                if lease.owner == owner:
+                    lease.deadline = deadline
+            self._reap_finished_leases()
+            return True
+
+    def release(self, owner: str) -> int:
+        """Re-queue the unfinished work of every lease held by ``owner``.
+
+        Called when a worker's connection dies.  Returns how many chunks
+        went back to the front of the queue.
+        """
+        with self._lock:
+            return self._release_leases(
+                [
+                    chunk_id
+                    for chunk_id, lease in self._leases.items()
+                    if lease.owner == owner
+                ]
+            )
+
+    # ------------------------------------------------------------------
+    # Coordinator-facing state
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """Every point of the sweep has a result."""
+        with self._lock:
+            return len(self._results) == self.total
+
+    @property
+    def completed(self) -> int:
+        with self._lock:
+            return len(self._results)
+
+    def results_by_index(self) -> dict[int, object]:
+        """Snapshot of the collected results keyed by point index."""
+        with self._lock:
+            return dict(self._results)
+
+    def expire_stale_leases(self) -> int:
+        """Reap leases past their deadline; returns how many were re-queued.
+
+        The coordinator's serve loop calls this periodically so stalled
+        workers are detected even while every live worker is busy (i.e.
+        nobody is calling :meth:`acquire`).
+        """
+        with self._lock:
+            return self._expire_stale_leases()
+
+    # ------------------------------------------------------------------
+    # Internals (call with the lock held)
+    # ------------------------------------------------------------------
+
+    def _unfinished(self, chunk: Chunk) -> tuple[int, ...]:
+        return tuple(i for i in chunk.indices if i not in self._results)
+
+    def _expire_stale_leases(self) -> int:
+        now = self._clock()
+        stale = [
+            chunk_id
+            for chunk_id, lease in self._leases.items()
+            if lease.deadline <= now
+        ]
+        self.stats.leases_expired += len(stale)
+        return self._release_leases(stale)
+
+    def _release_leases(self, chunk_ids: list[int]) -> int:
+        requeued = 0
+        for chunk_id in chunk_ids:
+            lease = self._leases.pop(chunk_id)
+            remaining = self._unfinished(lease.chunk)
+            if remaining:
+                self._pending.appendleft(
+                    Chunk(chunk_id=lease.chunk.chunk_id, indices=remaining)
+                )
+                self.stats.chunks_reassigned += 1
+                requeued += 1
+        return requeued
+
+    def _reap_finished_leases(self) -> None:
+        finished = [
+            chunk_id
+            for chunk_id, lease in self._leases.items()
+            if not self._unfinished(lease.chunk)
+        ]
+        for chunk_id in finished:
+            del self._leases[chunk_id]

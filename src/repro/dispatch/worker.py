@@ -1,0 +1,215 @@
+"""The dispatch worker: pull chunks, execute points, stream results.
+
+``repro-experiments worker --connect HOST:PORT`` lands here.  A worker is a
+single TCP connection to a coordinator: it pulls chunk leases, rebuilds
+each point from its JSON payload (:meth:`SweepPoint.from_dict` — the same
+portable codec the coordinator validated against), executes it through the
+*same* ``_execute_point`` path a local ``run_sweep`` uses, and streams one
+result frame per point so nothing finished is ever lost if the process dies
+mid-chunk.  A background thread heartbeats every few seconds to keep the
+worker's leases alive through long simulations.
+
+Workers are expendable by design: once the ``welcome`` handshake is done,
+a dropped connection or coordinator shutdown is a normal way for a run to
+end (the coordinator may finish and exit while this worker is mid-point),
+reported in :attr:`WorkerStats.disconnected` rather than raised.  Failures
+*before* the handshake — nobody listening, protocol version mismatch — are
+real errors and raise :class:`DispatchError`.
+
+:class:`~repro.dispatch.faults.FaultPlan` hooks the failure drills in:
+``run_worker(..., faults=FaultPlan.parse("crash:3"))`` dies hard after
+three points, exactly what the reassignment tests and CI drills exercise.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.dispatch.codec import encode_result
+from repro.dispatch.faults import FaultPlan
+from repro.dispatch.protocol import PROTOCOL_VERSION, recv_frame, send_frame
+from repro.errors import CoordinatorUnreachable, DispatchError, ProtocolError
+from repro.experiments.sweep import SweepPoint, _execute_point
+
+__all__ = ["WorkerStats", "run_worker"]
+
+
+@dataclass(slots=True)
+class WorkerStats:
+    """What one worker connection did, for logs and tests."""
+
+    worker: str = "worker"
+    points_executed: int = 0
+    chunks_received: int = 0
+    #: Results the coordinator had already received from another worker
+    #: (this worker raced a reassignment and lost — harmless).
+    duplicate_results: int = 0
+    waits: int = 0
+    heartbeats: int = 0
+    #: The connection ended without a clean goodbye (coordinator finished
+    #: and went away, or the link dropped).  Normal at end of run.
+    disconnected: bool = False
+
+
+def _connect(host: str, port: int, timeout: float, retry_delay: float) -> socket.socket:
+    """Dial the coordinator, retrying until ``timeout`` seconds elapse.
+
+    Workers routinely start before the coordinator binds (CI launches both
+    concurrently), so refusal is retried rather than fatal.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=10.0)
+            sock.settimeout(None)
+            return sock
+        except OSError as exc:
+            if time.monotonic() >= deadline:
+                raise CoordinatorUnreachable(
+                    f"could not reach coordinator at {host}:{port} "
+                    f"within {timeout:g}s: {exc}"
+                ) from exc
+            time.sleep(retry_delay)
+
+
+def run_worker(
+    host: str,
+    port: int,
+    *,
+    name: str | None = None,
+    faults: FaultPlan | None = None,
+    heartbeat_interval: float = 2.0,
+    connect_timeout: float = 30.0,
+    connect_retry_delay: float = 0.2,
+) -> WorkerStats:
+    """Serve one coordinator until its sweep completes; returns stats.
+
+    Blocks the calling thread.  ``faults`` injects a failure drill (see
+    :mod:`repro.dispatch.faults`); ``heartbeat_interval`` must stay well
+    under the coordinator's lease timeout or healthy long-running points
+    will be spuriously reassigned (harmless for correctness, wasteful for
+    wall-clock).
+    """
+    stats = WorkerStats(worker=name or f"worker-{os.getpid()}")
+    sock = _connect(host, port, connect_timeout, connect_retry_delay)
+    lock = threading.Lock()
+    stop = threading.Event()
+    heartbeats_suppressed = threading.Event()
+
+    def rpc(payload: dict) -> dict:
+        with lock:
+            send_frame(sock, payload)
+            reply = recv_frame(sock)
+        if reply is None:
+            raise ProtocolError("coordinator closed the connection")
+        if reply.get("type") == "error":
+            raise ProtocolError(f"coordinator refused: {reply.get('message')}")
+        return reply
+
+    # Handshake failures are genuine errors — nothing to tolerate yet.
+    try:
+        welcome = rpc(
+            {"type": "hello", "worker": stats.worker, "protocol": PROTOCOL_VERSION}
+        )
+        if welcome.get("type") != "welcome":
+            raise ProtocolError(f"expected welcome, got {welcome.get('type')!r}")
+    except (ProtocolError, OSError) as exc:
+        sock.close()
+        raise DispatchError(f"handshake with {host}:{port} failed: {exc}") from exc
+
+    def heartbeat_loop() -> None:
+        while not stop.wait(heartbeat_interval):
+            if heartbeats_suppressed.is_set():
+                continue
+            try:
+                rpc({"type": "heartbeat"})
+            except (ProtocolError, OSError):
+                return
+            stats.heartbeats += 1
+
+    heartbeat_thread = threading.Thread(
+        target=heartbeat_loop, name=f"{stats.worker}-heartbeat", daemon=True
+    )
+    heartbeat_thread.start()
+
+    fault_fired = False
+
+    def maybe_inject_fault() -> bool:
+        """Fire the drill once its point count is reached.
+
+        Returns True if the worker should stop (disconnect drill); a crash
+        drill never returns.
+        """
+        nonlocal fault_fired
+        if faults is None or fault_fired:
+            return False
+        if not faults.triggers_after(stats.points_executed):
+            return False
+        fault_fired = True
+        if faults.kind == "crash":
+            # Hard death: no goodbye, no flush — the kernel closes the
+            # socket, just like SIGKILL/OOM.  Exit code marks the drill.
+            os._exit(137)
+        if faults.kind == "disconnect":
+            sock.close()
+            stats.disconnected = True
+            return True
+        # stall: go silent (no execution, no heartbeats) past the lease.
+        heartbeats_suppressed.set()
+        time.sleep(faults.stall_seconds)
+        heartbeats_suppressed.clear()
+        return False
+
+    try:
+        while True:
+            reply = rpc({"type": "request"})
+            kind = reply.get("type")
+            if kind == "done":
+                try:
+                    rpc({"type": "goodbye"})
+                except (ProtocolError, OSError):
+                    pass
+                return stats
+            if kind == "wait":
+                stats.waits += 1
+                time.sleep(float(reply.get("delay", 0.2)))
+                continue
+            if kind != "chunk":
+                raise ProtocolError(f"unexpected reply {kind!r} to request")
+            stats.chunks_received += 1
+            for entry in reply.get("points", ()):
+                # Checked before execution as well as after each result, so
+                # after_points=0 drills die holding an untouched chunk.
+                if maybe_inject_fault():
+                    return stats
+                point = SweepPoint.from_dict(entry["point"])
+                result = _execute_point(
+                    (point.config, point.workload, point.read_workload, point.scenario)
+                )
+                ack = rpc(
+                    {
+                        "type": "result",
+                        "index": entry["index"],
+                        "result": encode_result(result),
+                    }
+                )
+                stats.points_executed += 1
+                if not ack.get("accepted", True):
+                    stats.duplicate_results += 1
+                if maybe_inject_fault():
+                    return stats
+    except (ProtocolError, OSError):
+        # The coordinator finishing (and closing) while we worked on a
+        # since-reassigned point is the normal end of a run.
+        stats.disconnected = True
+        return stats
+    finally:
+        stop.set()
+        try:
+            sock.close()
+        except OSError:
+            pass

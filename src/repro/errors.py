@@ -23,6 +23,9 @@ __all__ = [
     "SimulationError",
     "ProcessKilled",
     "ConfigurationError",
+    "CoordinatorUnreachable",
+    "DispatchError",
+    "ProtocolError",
 ]
 
 
@@ -126,3 +129,35 @@ class ProcessKilled(ReproError):
 
 class ConfigurationError(ReproError):
     """An experiment or component was configured with invalid parameters."""
+
+
+class DispatchError(ReproError):
+    """The cross-host dispatch layer could not complete an operation.
+
+    Raised by the coordinator/worker machinery (:mod:`repro.dispatch`) for
+    failures that are not mere worker deaths — those are tolerated and
+    reassigned.  Coordinator side: a sweep whose points cannot travel as
+    JSON, or results missing after serving stopped.  Worker side: no
+    coordinator reachable within the connect timeout
+    (:class:`CoordinatorUnreachable`) or a refused handshake.  A coordinator
+    whose workers all die simply keeps serving the re-queued work until new
+    workers arrive — that is a wait, not an error.
+    """
+
+
+class CoordinatorUnreachable(DispatchError):
+    """No coordinator accepted the worker's connection before the timeout.
+
+    The one :class:`DispatchError` that means "nothing is listening" rather
+    than "something went wrong" — long-lived workers use it to decide they
+    are idle and may exit cleanly.
+    """
+
+
+class ProtocolError(DispatchError):
+    """A malformed frame arrived on a dispatch connection.
+
+    Covers framing violations (bad length prefix, oversized or truncated
+    frames), payloads that are not JSON objects, and messages whose type or
+    fields do not fit the coordinator/worker protocol.
+    """

@@ -1,7 +1,8 @@
 """Command-line entry point for the paper's experiments.
 
-Run any figure's sweep, fan its columns across worker processes, print the
-series it plots, and optionally write a machine-readable artifact::
+Run any figure's sweep, fan its columns across worker processes — or
+across *hosts* — print the series it plots, and optionally write a
+machine-readable artifact::
 
     python -m repro.experiments fig3
     python -m repro.experiments fig7c --duration 20 --jobs 4
@@ -10,15 +11,23 @@ series it plots, and optionally write a machine-readable artifact::
     python -m repro.experiments scenario --spec saved-scenario.json
     python -m repro.experiments all --duration 15
 
+    # distributed: one coordinator + any number of workers, any hosts
+    python -m repro.experiments fig3 --dispatch 0.0.0.0:7643 --json fig3.json
+    python -m repro.experiments worker --connect coordinator-host:7643
+
 Experiment ids: fig3, fig4, fig5, fig6, fig7ab, fig7c, fig7d, fig8,
-theorem1, sensitivity, scenario.  ``scenario`` runs the multi-edge library
-fleets (heterogeneous loss ramp sized by ``--edges``, geo-skewed regions,
-flash crowd, plus — with ``--backends >= 2`` — the routed backend tiers)
-and reports per-edge rows, per-backend rows and fleet aggregates;
+theorem1, sensitivity, scenario — plus ``worker``, which is not an
+experiment but a dispatch worker process.  ``scenario`` runs the
+multi-edge library fleets (heterogeneous loss ramp sized by ``--edges``,
+geo-skewed regions, flash crowd, plus — with ``--backends >= 2`` — the
+routed backend tiers, the region-failure drill and the capacity-planning
+grid) and reports per-edge rows, per-backend rows and fleet aggregates;
 ``scenario --spec file.json`` instead replays one scenario recorded with
 ``ScenarioSpec.as_dict`` (e.g. from a ``--json`` artifact).  ``--jobs``
 defaults to every available CPU; ``--jobs 1`` runs serially and produces
-identical series for the same root seed.
+identical series for the same root seed.  ``--dispatch HOST:PORT`` serves
+every sweep of the experiment to remote workers instead of a local pool —
+same bytes out, see :mod:`repro.dispatch`.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ import os
 import sys
 import time
 
+from repro.dispatch import DispatchSpec, FaultPlan, parse_hostport, run_worker
 from repro.experiments import (
     fig3_alpha,
     fig4_convergence,
@@ -46,7 +56,7 @@ from repro.experiments.report import (
     print_table,
     write_json,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, CoordinatorUnreachable, DispatchError
 from repro.experiments.sweep import resolve_jobs, spec_artifact
 
 
@@ -70,20 +80,23 @@ def _section(title: str, rows: list[dict], stride: int = 1) -> Section:
     return {"title": title, "rows": rows, "stride": stride}
 
 
-def _run_fig3(duration: float, jobs: int):
+def _run_fig3(duration: float, jobs: int, dispatch=None):
     sections = [
         _section(
             "Figure 3: detected inconsistencies vs Pareto alpha",
-            fig3_alpha.run(duration=duration, jobs=jobs),
+            fig3_alpha.run(duration=duration, jobs=jobs, dispatch=dispatch),
         )
     ]
     return sections, [fig3_alpha.spec(duration=duration)]
 
 
-def _run_fig4(duration: float, jobs: int):
+def _run_fig4(duration: float, jobs: int, dispatch=None):
     scale = duration / 30.0
     rows = fig4_convergence.run(
-        duration=160.0 * scale, switch_time=58.0 * scale, jobs=jobs
+        duration=160.0 * scale,
+        switch_time=58.0 * scale,
+        jobs=jobs,
+        dispatch=dispatch,
     )
     summaries = fig4_convergence.phase_summaries(rows, switch_time=58.0 * scale)
     sections = [
@@ -105,13 +118,14 @@ def _run_fig4(duration: float, jobs: int):
     ]
 
 
-def _run_fig5(duration: float, jobs: int):
+def _run_fig5(duration: float, jobs: int, dispatch=None):
     scale = duration / 30.0
     rows = fig5_drift.run(
         duration=800.0 * scale,
         shift_interval=180.0 * scale,
         window=5.0 * scale,
         jobs=jobs,
+        dispatch=dispatch,
     )
     sections = [
         _section(
@@ -133,58 +147,63 @@ def _run_fig5(duration: float, jobs: int):
     ]
 
 
-def _run_fig6(duration: float, jobs: int):
+def _run_fig6(duration: float, jobs: int, dispatch=None):
     sections = [
         _section(
             "Figure 6: strategies (synthetic, alpha=1)",
-            fig6_strategies.run(duration=duration, jobs=jobs),
+            fig6_strategies.run(duration=duration, jobs=jobs, dispatch=dispatch),
         )
     ]
     return sections, [fig6_strategies.spec(duration=duration)]
 
 
-def _run_fig7ab(duration: float, jobs: int):
+def _run_fig7ab(duration: float, jobs: int, dispatch=None):
+    # Pure graph analysis: no simulation grid, nothing to dispatch.
     sections = [
         _section("Figure 7ab: topology statistics", realistic.run(jobs=jobs))
     ]
     return sections, []
 
 
-def _run_fig7c(duration: float, jobs: int):
+def _run_fig7c(duration: float, jobs: int, dispatch=None):
     sections = [
         _section(
             "Figure 7c: dependency-list sweep",
-            fig7_realistic.run_deplist_sweep(duration=duration, jobs=jobs),
+            fig7_realistic.run_deplist_sweep(
+                duration=duration, jobs=jobs, dispatch=dispatch
+            ),
         )
     ]
     return sections, [fig7_realistic.deplist_spec(duration=duration)]
 
 
-def _run_fig7d(duration: float, jobs: int):
+def _run_fig7d(duration: float, jobs: int, dispatch=None):
     sections = [
         _section(
             "Figure 7d: TTL sweep",
-            fig7_realistic.run_ttl_sweep(duration=duration, jobs=jobs),
+            fig7_realistic.run_ttl_sweep(
+                duration=duration, jobs=jobs, dispatch=dispatch
+            ),
         )
     ]
     return sections, [fig7_realistic.ttl_spec(duration=duration)]
 
 
-def _run_fig8(duration: float, jobs: int):
+def _run_fig8(duration: float, jobs: int, dispatch=None):
     sections = [
         _section(
             "Figure 8: strategies (realistic, k=3)",
-            fig8_strategies.run(duration=duration, jobs=jobs),
+            fig8_strategies.run(duration=duration, jobs=jobs, dispatch=dispatch),
         )
     ]
     return sections, [fig8_strategies.spec(duration=duration)]
 
 
-def _run_theorem1(duration: float, jobs: int):
+def _run_theorem1(duration: float, jobs: int, dispatch=None):
     sections = [
         _section(
             "Theorem 1: unbounded T-Cache",
-            theorem1.run(duration=duration, jobs=jobs),
+            theorem1.run(duration=duration, jobs=jobs, dispatch=dispatch),
         )
     ]
     return sections, [theorem1.spec(duration=duration)]
@@ -193,6 +212,7 @@ def _run_theorem1(duration: float, jobs: int):
 def _run_scenario(
     duration: float,
     jobs: int,
+    dispatch=None,
     edges: int = 3,
     backends: int = 2,
     spec_path: str | None = None,
@@ -202,12 +222,16 @@ def _run_scenario(
         # An explicit --duration overrides the recorded duration; without
         # it the replay honours what the spec file says.
         sweep_spec, per_edge, per_backend, per_fleet = scenarios.run_spec_file(
-            spec_path, duration=spec_duration, jobs=jobs
+            spec_path, duration=spec_duration, jobs=jobs, dispatch=dispatch
         )
         specs = [sweep_spec]
     else:
         per_edge, per_backend, per_fleet = scenarios.run(
-            edges=edges, backends=backends, duration=duration, jobs=jobs
+            edges=edges,
+            backends=backends,
+            duration=duration,
+            jobs=jobs,
+            dispatch=dispatch,
         )
         specs = [scenarios.spec(edges=edges, backends=backends, duration=duration)]
     sections = [
@@ -218,20 +242,24 @@ def _run_scenario(
     return sections, specs
 
 
-def _run_sensitivity(duration: float, jobs: int):
+def _run_sensitivity(duration: float, jobs: int, dispatch=None):
     half = duration / 2.0
     sections = [
         _section(
             "Sensitivity: cluster size vs k",
-            sensitivity.run_cluster_size_vs_k(duration=half, jobs=jobs),
+            sensitivity.run_cluster_size_vs_k(
+                duration=half, jobs=jobs, dispatch=dispatch
+            ),
         ),
         _section(
             "Sensitivity: invalidation loss sweep",
-            sensitivity.run_loss_sweep(duration=half, jobs=jobs),
+            sensitivity.run_loss_sweep(duration=half, jobs=jobs, dispatch=dispatch),
         ),
         _section(
             "Sensitivity: update pressure sweep",
-            sensitivity.run_update_pressure_sweep(duration=half, jobs=jobs),
+            sensitivity.run_update_pressure_sweep(
+                duration=half, jobs=jobs, dispatch=dispatch
+            ),
         ),
     ]
     return sections, [
@@ -256,6 +284,48 @@ EXPERIMENTS = {
 }
 
 
+def _run_worker_command(args, parser: argparse.ArgumentParser) -> int:
+    """The ``worker`` command: serve dispatch coordinators until idle.
+
+    Reconnects after each completed sweep (multi-sweep experiments like
+    ``sensitivity`` serve several coordinators back to back); exits once no
+    coordinator appears within ``--connect-timeout`` seconds.  Exit code 0
+    if at least one sweep was served before going idle, 1 for a worker that
+    never served anything or was refused by a coordinator (e.g. a protocol
+    version mismatch) — refusals are real failures however many sweeps
+    came before.
+    """
+    host, port = args.connect
+    faults = args.fault
+    runs = 0
+    while True:
+        try:
+            stats = run_worker(
+                host,
+                port,
+                name=args.worker_name,
+                faults=faults,
+                connect_timeout=args.connect_timeout,
+            )
+        except CoordinatorUnreachable as exc:
+            if runs:
+                print(f"[worker idle, served {runs} sweep(s); exiting]")
+                return 0
+            print(f"worker: {exc}", file=sys.stderr)
+            return 1
+        except DispatchError as exc:
+            # Reachable but refused (handshake/version failure): always loud.
+            print(f"worker: {exc}", file=sys.stderr)
+            return 1
+        runs += 1
+        print(
+            f"[sweep {runs}: {stats.points_executed} points in "
+            f"{stats.chunks_received} chunk(s), {stats.duplicate_results} "
+            f"duplicate(s), {stats.heartbeats} heartbeat(s)"
+            + (", disconnected]" if stats.disconnected else "]")
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -263,8 +333,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all"],
-        help="which figure to regenerate",
+        choices=[*EXPERIMENTS, "all", "worker"],
+        help="which figure to regenerate, or 'worker' to serve a dispatch "
+        "coordinator",
     )
     parser.add_argument(
         "--duration",
@@ -310,7 +381,79 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="write the full (unsampled) rows plus run metadata as JSON",
     )
+
+    def _hostport_arg(text: str) -> tuple[str, int]:
+        try:
+            return parse_hostport(text)
+        except ConfigurationError as exc:
+            raise argparse.ArgumentTypeError(str(exc))
+
+    def _fault_arg(text: str) -> FaultPlan:
+        try:
+            return FaultPlan.parse(text)
+        except ConfigurationError as exc:
+            raise argparse.ArgumentTypeError(str(exc))
+
+    dispatch_group = parser.add_argument_group(
+        "distributed sweeps (see repro.dispatch)"
+    )
+    dispatch_group.add_argument(
+        "--dispatch",
+        type=_hostport_arg,
+        metavar="HOST:PORT",
+        default=None,
+        help="serve the experiment's sweeps to remote workers at this "
+        "address instead of running a local pool (results are identical)",
+    )
+    dispatch_group.add_argument(
+        "--connect",
+        type=_hostport_arg,
+        metavar="HOST:PORT",
+        default=None,
+        help="worker command only: the coordinator to pull work from",
+    )
+    dispatch_group.add_argument(
+        "--connect-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=30.0,
+        help="worker: how long to wait for a coordinator before giving up "
+        "(default: 30)",
+    )
+    dispatch_group.add_argument(
+        "--worker-name",
+        metavar="NAME",
+        default=None,
+        help="worker: name reported to the coordinator (default: worker-PID)",
+    )
+    dispatch_group.add_argument(
+        "--fault",
+        type=_fault_arg,
+        metavar="KIND:N[:SECS]",
+        default=None,
+        help="worker failure drill: crash:N (die hard after N points), "
+        "stall:N:SECS (go silent mid-run), disconnect:N",
+    )
     args = parser.parse_args(argv)
+    if args.experiment == "worker":
+        if args.connect is None:
+            parser.error("worker requires --connect HOST:PORT")
+        if args.dispatch is not None:
+            parser.error("--dispatch belongs to the coordinator side, not worker")
+        return _run_worker_command(args, parser)
+    if args.connect is not None:
+        parser.error("--connect only applies to the worker command")
+    if args.fault is not None:
+        parser.error("--fault only applies to the worker command")
+    if args.dispatch is not None and args.dispatch[1] == 0:
+        # Port 0 binds an OS-chosen port nobody is told about; it is only
+        # useful programmatically, where Coordinator.address can be read.
+        parser.error("--dispatch needs an explicit port (port 0 is ephemeral)")
+    dispatch = (
+        None
+        if args.dispatch is None
+        else DispatchSpec(host=args.dispatch[0], port=args.dispatch[1])
+    )
     jobs = resolve_jobs(args.jobs)
     duration = 30.0 if args.duration is None else args.duration
     if args.edges < 1:
@@ -335,6 +478,12 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"--json: directory is not writable: {directory}")
 
     selected = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if dispatch is not None:
+        print(
+            f"[dispatch: serving sweeps at {dispatch.host}:{dispatch.port} — "
+            f"start workers with 'python -m repro.experiments worker "
+            f"--connect <this-host>:{dispatch.port}']"
+        )
     payloads = []
     for name in selected:
         start = time.perf_counter()
@@ -342,6 +491,7 @@ def main(argv: list[str] | None = None) -> int:
             sections, specs = EXPERIMENTS[name](
                 duration,
                 jobs,
+                dispatch=dispatch,
                 edges=args.edges,
                 backends=args.backends,
                 spec_path=args.spec_path,
@@ -352,7 +502,7 @@ def main(argv: list[str] | None = None) -> int:
                 # artifact metadata report what was actually simulated.
                 duration = specs[0].points[0].scenario.duration
         else:
-            sections, specs = EXPERIMENTS[name](duration, jobs)
+            sections, specs = EXPERIMENTS[name](duration, jobs, dispatch=dispatch)
         elapsed = time.perf_counter() - start
         for section in sections:
             stride = section.get("stride", 1)

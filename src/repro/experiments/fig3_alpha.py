@@ -89,13 +89,16 @@ def run(
     seed: int = 11,
     duration: float = 30.0,
     jobs: int | None = 1,
+    dispatch=None,
 ) -> list[dict[str, float]]:
     """The full Figure 3 sweep; one row per alpha.
 
     Each point runs with an independently derived seed so the sweep is
     reproducible point-by-point and safe to fan out across ``jobs`` workers.
     """
-    sweep = run_sweep(spec(alphas, seed=seed, duration=duration), jobs=jobs)
+    sweep = run_sweep(
+        spec(alphas, seed=seed, duration=duration), jobs=jobs, dispatch=dispatch
+    )
     return [
         _row(point.params["alpha"], result) for point, result in sweep.pairs()
     ]

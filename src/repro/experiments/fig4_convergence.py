@@ -74,9 +74,12 @@ def run_result(
     duration: float = 160.0,
     switch_time: float = SWITCH_TIME,
     jobs: int | None = 1,
+    dispatch=None,
 ) -> ColumnResult:
     sweep = run_sweep(
-        spec(seed=seed, duration=duration, switch_time=switch_time), jobs=jobs
+        spec(seed=seed, duration=duration, switch_time=switch_time),
+        jobs=jobs,
+        dispatch=dispatch,
     )
     return sweep.results[0]
 
@@ -87,10 +90,15 @@ def run(
     duration: float = 160.0,
     switch_time: float = SWITCH_TIME,
     jobs: int | None = 1,
+    dispatch=None,
 ) -> list[dict[str, float]]:
     """Per-second rows: time, consistent, inconsistent, aborted [txn/s]."""
     result = run_result(
-        seed=seed, duration=duration, switch_time=switch_time, jobs=jobs
+        seed=seed,
+        duration=duration,
+        switch_time=switch_time,
+        jobs=jobs,
+        dispatch=dispatch,
     )
     return [
         {

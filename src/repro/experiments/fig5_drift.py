@@ -70,6 +70,7 @@ def run_result(
     n_objects: int = 2000,
     window: float = 5.0,
     jobs: int | None = 1,
+    dispatch=None,
 ) -> ColumnResult:
     sweep = run_sweep(
         spec(
@@ -80,6 +81,7 @@ def run_result(
             window=window,
         ),
         jobs=jobs,
+        dispatch=dispatch,
     )
     return sweep.results[0]
 

@@ -72,10 +72,10 @@ def run_strategy(
 
 
 def run(
-    *, seed: int = 6, duration: float = 30.0, jobs: int | None = 1
+    *, seed: int = 6, duration: float = 30.0, jobs: int | None = 1, dispatch=None
 ) -> list[dict[str, object]]:
     """One row per strategy, same workload and seed for comparability."""
-    sweep = run_sweep(spec(seed=seed, duration=duration), jobs=jobs)
+    sweep = run_sweep(spec(seed=seed, duration=duration), jobs=jobs, dispatch=dispatch)
     return [
         _row(Strategy[point.label], result) for point, result in sweep.pairs()
     ]

@@ -119,11 +119,13 @@ def run_deplist_sweep(
     duration: float = 30.0,
     workloads: tuple[str, ...] = WORKLOAD_NAMES,
     jobs: int | None = 1,
+    dispatch=None,
 ) -> list[dict[str, object]]:
     """Panel (c): one row per (workload, dependency list size)."""
     sweep = run_sweep(
         deplist_spec(sizes, seed=seed, duration=duration, workloads=workloads),
         jobs=jobs,
+        dispatch=dispatch,
     )
     return _deplist_rows(sweep)
 
@@ -192,11 +194,13 @@ def run_ttl_sweep(
     duration: float = 30.0,
     workloads: tuple[str, ...] = WORKLOAD_NAMES,
     jobs: int | None = 1,
+    dispatch=None,
 ) -> list[dict[str, object]]:
     """Panel (d): one row per (workload, TTL), baseline TTL=None first."""
     sweep = run_sweep(
         ttl_spec(ttls, seed=seed, duration=duration, workloads=workloads),
         jobs=jobs,
+        dispatch=dispatch,
     )
     return _ttl_rows(sweep)
 

@@ -59,10 +59,13 @@ def run(
     duration: float = 30.0,
     workloads: tuple[str, ...] = WORKLOAD_NAMES,
     jobs: int | None = 1,
+    dispatch=None,
 ) -> list[dict[str, object]]:
     """One row per (workload, strategy), Fig. 8's six bars."""
     sweep = run_sweep(
-        spec(seed=seed, duration=duration, workloads=workloads), jobs=jobs
+        spec(seed=seed, duration=duration, workloads=workloads),
+        jobs=jobs,
+        dispatch=dispatch,
     )
     rows: list[dict[str, object]] = []
     for point, result in sweep.pairs():

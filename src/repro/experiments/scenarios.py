@@ -2,10 +2,11 @@
 
 Runs the library fleets — a heterogeneous-loss fleet sized by ``--edges``,
 the geo-skewed regions, the flash-crowd surge, and (with ``--backends >=
-2``) the routed backend tiers (regional backends, hot-backend overload) —
-as one sweep of scenario points, then reports three views: per-edge rows
-(which edge hurts and why), per-backend rows (which backend carries the
-load), and fleet aggregates (what the whole deployment looks like).
+2``) the routed backend tiers (regional backends, hot-backend overload,
+the region-failure drill and the capacity-planning grid) — as one sweep of
+scenario points, then reports three views: per-edge rows (which edge hurts
+and why), per-backend rows (which backend carries the load), and fleet
+aggregates (what the whole deployment looks like).
 
 ``run_spec_file`` replays a single scenario from a JSON artifact
 (``repro-experiments scenario --spec file.json``) — the round-trip partner
@@ -15,13 +16,16 @@ of :meth:`~repro.scenario.spec.ScenarioSpec.as_dict`.
 from __future__ import annotations
 
 import json
+from dataclasses import replace
 
 from repro.experiments.sweep import SweepPoint, SweepSpec, run_sweep
 from repro.scenario.library import (
+    capacity_planning_sweep,
     flash_crowd_scenario,
     geo_skewed_scenario,
     heterogeneous_loss_fleet,
     hot_backend_overload,
+    region_failure_drill,
     regional_backends_scenario,
 )
 from repro.scenario.results import ScenarioResult
@@ -46,9 +50,11 @@ def spec(
 ) -> SweepSpec:
     """One sweep over the library fleets (scenario points).
 
-    ``backends >= 2`` adds the routed-tier scenarios (regional backends and
-    hot-backend overload, each sized by ``backends``); ``backends=1`` keeps
-    the historical single-backend grid.
+    ``backends >= 2`` adds the routed-tier scenarios — regional backends
+    and hot-backend overload (each sized by ``backends``), the
+    region-failure drill, and the capacity-planning grid (load x1/x2 at 1
+    and 2 shards, labels prefixed ``capacity/``); ``backends=1`` keeps the
+    historical single-backend grid.
     """
     warmup = max(1.0, duration / 6.0)
     points = [
@@ -100,11 +106,38 @@ def spec(
                 params={"backends": backends},
             )
         )
+        points.append(
+            SweepPoint(
+                label="region-failure",
+                scenario=region_failure_drill(
+                    regions=max(2, backends),
+                    duration=duration,
+                    warmup=warmup,
+                    seed=seed + 5,
+                ),
+                params={"regions": max(2, backends)},
+            )
+        )
+        points.extend(
+            replace(point, label=f"capacity/{point.label}")
+            for point in capacity_planning_sweep(
+                regions=backends,
+                load_factors=(1.0, 2.0),
+                shard_options=(1, 2),
+                duration=duration,
+                warmup=warmup,
+                seed=seed + 6,
+            ).points
+        )
     return SweepSpec(
         name="scenarios",
         description=(
             "multi-edge topologies: loss ramp, geo skew, flash crowd"
-            + (", regional backends, hot backend" if backends >= 2 else "")
+            + (
+                ", regional backends, hot backend, region failure, capacity grid"
+                if backends >= 2
+                else ""
+            )
         ),
         root_seed=seed,
         points=points,
@@ -191,6 +224,7 @@ def run(
     duration: float = 30.0,
     seed: int = 101,
     jobs: int | None = 1,
+    dispatch=None,
 ) -> tuple[
     list[dict[str, object]], list[dict[str, object]], list[dict[str, object]]
 ]:
@@ -198,12 +232,13 @@ def run(
     sweep = run_sweep(
         spec(edges=edges, backends=backends, duration=duration, seed=seed),
         jobs=jobs,
+        dispatch=dispatch,
     )
     return _views([(point.label, result) for point, result in sweep.pairs()])
 
 
 def run_spec_file(
-    path: str, *, duration: float | None = None, jobs: int | None = 1
+    path: str, *, duration: float | None = None, jobs: int | None = 1, dispatch=None
 ) -> tuple[
     SweepSpec,
     list[dict[str, object]],
@@ -234,6 +269,6 @@ def run_spec_file(
             )
         ],
     )
-    sweep = run_sweep(sweep_spec, jobs=jobs)
+    sweep = run_sweep(sweep_spec, jobs=jobs, dispatch=dispatch)
     views = _views([(point.label, result) for point, result in sweep.pairs()])
     return (sweep_spec, *views)

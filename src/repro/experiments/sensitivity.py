@@ -79,6 +79,7 @@ def run_cluster_size_vs_k(
     duration: float = 15.0,
     n_objects: int = 1920,
     jobs: int | None = 1,
+    dispatch=None,
 ) -> list[dict[str, object]]:
     """Detection ratio across (cluster size, k) — the §III intuition.
 
@@ -93,6 +94,7 @@ def run_cluster_size_vs_k(
             duration=duration,
             n_objects=n_objects,
         ),
+        dispatch=dispatch,
         jobs=jobs,
     )
     return [
@@ -149,9 +151,14 @@ def run_loss_sweep(
     seed: int = 43,
     duration: float = 15.0,
     jobs: int | None = 1,
+    dispatch=None,
 ) -> list[dict[str, object]]:
     """Inconsistency pressure as a function of invalidation loss."""
-    sweep = run_sweep(loss_spec(loss_rates, seed=seed, duration=duration), jobs=jobs)
+    sweep = run_sweep(
+        loss_spec(loss_rates, seed=seed, duration=duration),
+        jobs=jobs,
+        dispatch=dispatch,
+    )
     rows: list[dict[str, object]] = []
     for loss in loss_rates:
         detected = sweep.result_for(f"loss={loss:g}:tcache")
@@ -202,10 +209,13 @@ def run_update_pressure_sweep(
     seed: int = 47,
     duration: float = 15.0,
     jobs: int | None = 1,
+    dispatch=None,
 ) -> list[dict[str, object]]:
     """Inconsistency pressure as a function of update rate (reads fixed)."""
     sweep = run_sweep(
-        update_pressure_spec(update_rates, seed=seed, duration=duration), jobs=jobs
+        update_pressure_spec(update_rates, seed=seed, duration=duration),
+        jobs=jobs,
+        dispatch=dispatch,
     )
     return [
         {

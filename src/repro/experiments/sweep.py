@@ -12,12 +12,17 @@ them a shared, declarative substrate:
   and JSON artifacts attach to the result.
 * :class:`SweepSpec` — a named, ordered grid of points with a root seed.
   Specs are plain data; building one runs nothing.
-* :func:`run_sweep` — executes a spec either serially (``jobs=1``) or on a
-  ``multiprocessing`` pool (``jobs=N``, default ``os.cpu_count()``) and
-  returns a :class:`SweepResult` in *spec order* regardless of completion
-  order.  Each column is deterministic given its config and workload, so
-  serial and parallel execution produce identical results — the test suite
-  asserts byte-identical series for ``jobs=1`` vs ``jobs=4``.
+* :func:`run_sweep` — executes a spec serially (``jobs=1``), on a
+  ``multiprocessing`` pool (``jobs=N``, default ``os.cpu_count()``), or —
+  given ``dispatch=`` a :class:`~repro.dispatch.coordinator.DispatchSpec` —
+  across remote workers via the :mod:`repro.dispatch` coordinator.  All
+  three return a :class:`SweepResult` in *spec order* regardless of
+  completion order: the pool streams ``imap_unordered`` chunks and the
+  coordinator streams worker result frames, but both reassemble through the
+  same index-keyed :func:`ordered_results`.  Each column is deterministic
+  given its config and workload, so every executor produces identical
+  results — the test suite asserts byte-identical series for ``jobs=1`` vs
+  ``jobs=4`` and for local vs dispatched runs.
 
 Seeding: :func:`derive_seed` is the canonical per-column derivation from a
 spec's root seed.  Sweeps that compare columns on the *same* randomness
@@ -37,9 +42,12 @@ import multiprocessing
 import os
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator, Mapping
 
-from repro.errors import ConfigurationError
+from repro.cache.kinds import CacheKind
+from repro.core.strategies import Strategy
+from repro.db.database import TimingConfig
+from repro.errors import ConfigurationError, DispatchError
 from repro.experiments.config import ColumnConfig
 from repro.experiments.report import json_safe
 from repro.experiments.runner import ColumnResult, run_column
@@ -48,12 +56,17 @@ from repro.scenario.runner import run_scenario
 from repro.scenario.spec import ScenarioSpec
 from repro.workloads.base import Workload
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.dispatch.coordinator import DispatchSpec
+
 __all__ = [
     "SweepPoint",
     "SweepResult",
     "SweepSpec",
     "config_as_dict",
+    "config_from_dict",
     "derive_seed",
+    "ordered_results",
     "resolve_jobs",
     "run_sweep",
     "spec_artifact",
@@ -112,6 +125,94 @@ class SweepPoint:
                 f"point {self.label!r}: a column point needs config= and workload="
             )
 
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe description of this point, replayable by :meth:`from_dict`.
+
+        Scenario points embed the full :meth:`ScenarioSpec.as_dict` payload;
+        column points carry their config plus — for the portable synthetic
+        workload families — full ``workload_spec`` / ``read_workload_spec``
+        payloads via :mod:`repro.workloads.codec`.  Non-portable workloads
+        (graph- or trace-backed) record ``workload_spec: null``: the artifact
+        still *describes* the point, but :meth:`from_dict` refuses to rebuild
+        it rather than silently re-running a different distribution.
+        """
+        from repro.workloads.codec import workload_to_dict
+
+        def _portable(workload: Workload | None) -> dict[str, object] | None:
+            if workload is None:
+                return None
+            try:
+                return workload_to_dict(workload)
+            except ConfigurationError:
+                return None
+
+        column: dict[str, object] = {
+            "label": self.label,
+            "params": json_safe(dict(self.params)),
+        }
+        if self.scenario is not None:
+            column["scenario"] = self.scenario.as_dict()
+            return column
+        column["config"] = config_as_dict(self.config)
+        column["workload"] = type(self.workload).__name__
+        column["workload_spec"] = _portable(self.workload)
+        column["read_workload"] = (
+            None if self.read_workload is None else type(self.read_workload).__name__
+        )
+        column["read_workload_spec"] = _portable(self.read_workload)
+        return column
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SweepPoint":
+        """Rebuild a point from :meth:`as_dict` output.
+
+        Fails loudly for column points whose workload was not portable
+        (``workload_spec: null``), mirroring the ``scenario --spec`` replay
+        behaviour — an artifact must never replay with a *different*
+        workload than the one it recorded.
+        """
+        from repro.workloads.codec import workload_from_dict
+
+        label = payload.get("label")
+        if not label:
+            raise ConfigurationError(f"sweep point payload has no label: {payload!r}")
+        params = dict(payload.get("params") or {})
+        scenario = payload.get("scenario")
+        if scenario is not None:
+            return cls(
+                label=label,
+                scenario=ScenarioSpec.from_dict(scenario),
+                params=params,
+            )
+        config = payload.get("config")
+        if config is None:
+            raise ConfigurationError(
+                f"point {label!r}: payload carries neither a scenario nor a config"
+            )
+        workload_spec = payload.get("workload_spec")
+        if workload_spec is None:
+            raise ConfigurationError(
+                f"point {label!r}: workload {payload.get('workload')!r} has no "
+                "portable workload_spec; only synthetic-family workloads "
+                "replay from JSON"
+            )
+        read_spec = payload.get("read_workload_spec")
+        if read_spec is None and payload.get("read_workload") is not None:
+            raise ConfigurationError(
+                f"point {label!r}: read workload {payload['read_workload']!r} "
+                "has no portable read_workload_spec; only synthetic-family "
+                "workloads replay from JSON"
+            )
+        return cls(
+            label=label,
+            config=config_from_dict(config),
+            workload=workload_from_dict(workload_spec),
+            read_workload=(
+                None if read_spec is None else workload_from_dict(read_spec)
+            ),
+            params=params,
+        )
+
 
 @dataclass(slots=True)
 class SweepSpec:
@@ -132,6 +233,32 @@ class SweepSpec:
 
     def __len__(self) -> int:
         return len(self.points)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-safe description of the grid (alias of :func:`spec_artifact`)."""
+        return spec_artifact(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SweepSpec":
+        """Rebuild a spec from :meth:`as_dict` / :func:`spec_artifact` output.
+
+        The round-trip half that makes ``--json`` artifacts (and the
+        dispatch work queue) genuinely re-runnable.  Raises
+        :class:`ConfigurationError` if any column recorded
+        ``workload_spec: null`` — a non-portable point cannot be rebuilt,
+        and replaying the rest would silently change the grid.
+        """
+        columns = payload.get("columns")
+        if columns is None:
+            raise ConfigurationError(
+                f"sweep payload has no 'columns' list: {sorted(payload)!r}"
+            )
+        return cls(
+            name=payload.get("spec") or payload.get("name") or "sweep",
+            description=payload.get("description", ""),
+            root_seed=payload.get("root_seed", 0),
+            points=[SweepPoint.from_dict(column) for column in columns],
+        )
 
 
 @dataclass(slots=True)
@@ -172,29 +299,44 @@ class SweepResult:
 
 
 def spec_artifact(spec: SweepSpec) -> dict[str, object]:
-    """JSON-safe description of a spec's grid — enough to re-run any point."""
-    columns = []
-    for point in spec.points:
-        column: dict[str, object] = {
-            "label": point.label,
-            "params": json_safe(dict(point.params)),
-        }
-        if point.scenario is not None:
-            column["scenario"] = point.scenario.as_dict()
-        else:
-            column["config"] = config_as_dict(point.config)
-        columns.append(column)
+    """JSON-safe description of a spec's grid — enough to re-run any
+    *portable* point via :meth:`SweepSpec.from_dict`.
+
+    Column points record their workloads through
+    :mod:`repro.workloads.codec`; a workload outside the portable synthetic
+    families is recorded as ``workload_spec: null``, and rebuilding such a
+    column fails loudly instead of re-running a different distribution.
+    """
     return {
         "spec": spec.name,
         "description": spec.description,
         "root_seed": spec.root_seed,
-        "columns": columns,
+        "columns": [point.as_dict() for point in spec.points],
     }
 
 
 def config_as_dict(config: ColumnConfig) -> dict[str, object]:
     """A :class:`ColumnConfig` as a JSON-serialisable dict (enums by name)."""
     return json_safe(asdict(config))
+
+
+def config_from_dict(payload: Mapping[str, object]) -> ColumnConfig:
+    """Rebuild a :class:`ColumnConfig` from :func:`config_as_dict` output."""
+    data = dict(payload)
+    timing = data.get("timing")
+    data["timing"] = TimingConfig() if timing is None else TimingConfig(**timing)
+    try:
+        data["strategy"] = Strategy[data.get("strategy", "ABORT")]
+        data["cache_kind"] = CacheKind[data.get("cache_kind", "TCACHE")]
+    except KeyError as exc:
+        raise ConfigurationError(f"unknown enum name in config payload: {exc}")
+    try:
+        return ColumnConfig(**data)
+    except TypeError as exc:
+        # e.g. a hand-edited artifact with a misspelled field name.
+        raise ConfigurationError(
+            f"bad column config payload {sorted(data)}: {exc}"
+        ) from exc
 
 
 def _execute_point(
@@ -208,6 +350,33 @@ def _execute_point(
     return run_column(config, workload, read_workload=read_workload)
 
 
+def _execute_indexed(
+    item: tuple[int, tuple]
+) -> tuple[int, ColumnResult | ScenarioResult]:
+    index, payload = item
+    return index, _execute_point(payload)
+
+
+def ordered_results(
+    total: int, results_by_index: Mapping[int, object]
+) -> list:
+    """Restore spec order from index-keyed results.
+
+    The shared reassembly step of every out-of-order executor: the
+    ``imap_unordered`` pool below and the dispatch coordinator both collect
+    ``{point index: result}`` as completions stream in, then rebuild the
+    spec-ordered list through this function.  Raises
+    :class:`~repro.errors.DispatchError` if any index is missing — a sweep
+    must never return partial results as if they were complete.
+    """
+    missing = [index for index in range(total) if index not in results_by_index]
+    if missing:
+        raise DispatchError(
+            f"sweep incomplete: no results for point indices {missing}"
+        )
+    return [results_by_index[index] for index in range(total)]
+
+
 def _pool_context() -> multiprocessing.context.BaseContext:
     # fork inherits sys.path and the parent's built workloads/topology caches;
     # spawn re-imports, which also works because PYTHONPATH propagates, but
@@ -216,13 +385,36 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
-def run_sweep(spec: SweepSpec, *, jobs: int | None = None) -> SweepResult:
+def _pool_chunksize(n_points: int, workers: int) -> int:
+    """Points handed to a pool worker per dispatch (>= 4 waves per worker).
+
+    Small chunks keep one slow point from pinning a whole wave of fast ones
+    behind it while still amortising the per-task IPC cost of big grids.
+    """
+    return max(1, n_points // (workers * 4))
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    jobs: int | None = None,
+    dispatch: "DispatchSpec | None" = None,
+) -> SweepResult:
     """Execute every point of ``spec`` and collect results in spec order.
 
     ``jobs=1`` runs in-process (no pool, fully synchronous — the baseline
     for determinism tests); ``jobs>1`` fans the columns across a process
-    pool, never spawning more workers than there are points.
+    pool, never spawning more workers than there are points, streaming
+    completions via chunked ``imap_unordered`` so one slow point never
+    blocks a whole map wave.  Passing ``dispatch=`` a
+    :class:`~repro.dispatch.coordinator.DispatchSpec` instead serves the
+    spec as a work queue to remote workers (see :mod:`repro.dispatch`);
+    every executor returns identical results for the same spec.
     """
+    if dispatch is not None:
+        from repro.dispatch.coordinator import run_dispatched
+
+        return run_dispatched(spec, dispatch)
     jobs = resolve_jobs(jobs)
     payloads = [
         (point.config, point.workload, point.read_workload, point.scenario)
@@ -234,7 +426,14 @@ def run_sweep(spec: SweepSpec, *, jobs: int | None = None) -> SweepResult:
         results = [_execute_point(payload) for payload in payloads]
     else:
         with _pool_context().Pool(processes=workers) as pool:
-            results = pool.map(_execute_point, payloads)
+            results_by_index: dict[int, ColumnResult | ScenarioResult] = {}
+            for index, result in pool.imap_unordered(
+                _execute_indexed,
+                list(enumerate(payloads)),
+                chunksize=_pool_chunksize(len(payloads), workers),
+            ):
+                results_by_index[index] = result
+        results = ordered_results(len(payloads), results_by_index)
     elapsed = time.perf_counter() - start
     return SweepResult(
         spec=spec, results=results, jobs=jobs, wall_clock_seconds=elapsed

@@ -64,10 +64,10 @@ def spec(*, seed: int = 9, duration: float = 20.0) -> SweepSpec:
 
 
 def run(
-    *, seed: int = 9, duration: float = 20.0, jobs: int | None = 1
+    *, seed: int = 9, duration: float = 20.0, jobs: int | None = 1, dispatch=None
 ) -> list[dict[str, object]]:
     """One row per workload; ``inconsistent`` must be zero everywhere."""
-    sweep = run_sweep(spec(seed=seed, duration=duration), jobs=jobs)
+    sweep = run_sweep(spec(seed=seed, duration=duration), jobs=jobs, dispatch=dispatch)
     return [
         {
             "workload": point.params["workload"],

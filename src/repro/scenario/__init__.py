@@ -29,10 +29,12 @@ parallelise exactly like figure columns.
 """
 
 from repro.scenario.library import (
+    capacity_planning_sweep,
     flash_crowd_scenario,
     geo_skewed_scenario,
     heterogeneous_loss_fleet,
     hot_backend_overload,
+    region_failure_drill,
     regional_backends_scenario,
 )
 from repro.scenario.results import (
@@ -66,10 +68,12 @@ __all__ = [
     "ScenarioResult",
     "ScenarioSpec",
     "build_scenario",
+    "capacity_planning_sweep",
     "flash_crowd_scenario",
     "geo_skewed_scenario",
     "heterogeneous_loss_fleet",
     "hot_backend_overload",
+    "region_failure_drill",
     "regional_backends_scenario",
     "run_scenario",
 ]

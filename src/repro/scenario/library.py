@@ -14,7 +14,7 @@ Five families, all parameterised and cheap to scale down for smoke tests:
   rate concentrated on a small hot set) next to quiet edges, all over the
   same catalogue.
 
-Two exercise the routed backend tier:
+Four exercise the routed backend tier:
 
 * :func:`regional_backends_scenario` — one backend database per region,
   several edges per region placed on it (a metro edge with a clean channel,
@@ -23,6 +23,14 @@ Two exercise the routed backend tier:
 * :func:`hot_backend_overload` — a tier where one backend serves a
   flash-crowd edge while its peers idle; the per-backend aggregates expose
   the load imbalance that edge-level views average away.
+* :func:`region_failure_drill` — one region's invalidation pipeline blacks
+  out mid-run while a share of its users is displaced onto the surviving
+  regions' backends; the drill measures both the failed region's stale
+  serving and the survivors' absorption cost.
+* :func:`capacity_planning_sweep` — not one fleet but a whole
+  :class:`~repro.experiments.sweep.SweepSpec` grid: the regional tier re-run
+  across load multipliers and shard counts on one shared seed, the "how
+  much tier do we need" question as a chunked-dispatch-friendly workload.
 """
 
 from __future__ import annotations
@@ -35,14 +43,17 @@ from repro.workloads.synthetic import (
     OffsetWorkload,
     ParetoClusterWorkload,
     PerfectClusterWorkload,
+    PhaseSwitchWorkload,
     UniformWorkload,
 )
 
 __all__ = [
+    "capacity_planning_sweep",
     "flash_crowd_scenario",
     "geo_skewed_scenario",
     "heterogeneous_loss_fleet",
     "hot_backend_overload",
+    "region_failure_drill",
     "regional_backends_scenario",
 ]
 
@@ -393,4 +404,182 @@ def hot_backend_overload(
         seed=seed,
         duration=duration,
         warmup=warmup,
+    )
+
+
+def region_failure_drill(
+    *,
+    regions: int = 3,
+    failed_region: int = 0,
+    objects_per_region: int = 400,
+    cluster_size: int = 5,
+    takeover_fraction: float = 0.6,
+    fail_at: float | None = None,
+    recover_at: float | None = None,
+    duration: float = 30.0,
+    warmup: float = 5.0,
+    seed: int = 601,
+    read_rate: float = 300.0,
+    update_rate: float = 60.0,
+) -> ScenarioSpec:
+    """One region fails mid-run; the surviving tier absorbs its users.
+
+    Each region has its own backend and one edge over a disjoint key slice.
+    At ``fail_at`` (sim time; default 40 % into the measured window) the
+    failed region's invalidation pipeline blacks out until ``recover_at``
+    (default 70 % in) — the §II bursty failure, so its cache serves
+    coherently stale data and the inconsistency bill arrives on recovery.
+    Simultaneously ``takeover_fraction`` of the failed region's traffic is
+    displaced onto the survivors, split evenly: every surviving edge's
+    update *and* read workloads phase-switch at ``fail_at`` from pure-local
+    to a mixture that includes a replica of the failed slice on the
+    survivor's own backend (backends are independent key namespaces, so the
+    replica keys are loaded at build time).  Per-backend rows show the
+    surviving backends' commits and read load jump while the failed
+    backend's edge drifts stale — failover load *and* consistency cost in
+    one drill.
+    """
+    if regions < 2:
+        raise ConfigurationError(
+            f"a failure drill needs >= 2 regions, got {regions}"
+        )
+    if not 0 <= failed_region < regions:
+        raise ConfigurationError(
+            f"failed_region must be in [0, {regions}), got {failed_region}"
+        )
+    if not 0.0 <= takeover_fraction <= 1.0:
+        raise ConfigurationError(
+            f"takeover_fraction must be in [0, 1], got {takeover_fraction}"
+        )
+    fail_at = warmup + 0.4 * duration if fail_at is None else fail_at
+    recover_at = warmup + 0.7 * duration if recover_at is None else recover_at
+    if not 0 <= fail_at < recover_at:
+        raise ConfigurationError(
+            f"need 0 <= fail_at < recover_at, got [{fail_at}, {recover_at})"
+        )
+
+    def slice_for(region: int) -> OffsetWorkload:
+        return OffsetWorkload(
+            PerfectClusterWorkload(
+                n_objects=objects_per_region, cluster_size=cluster_size
+            ),
+            offset=region * objects_per_region,
+        )
+
+    failed_slice = slice_for(failed_region)
+    displaced_share = takeover_fraction / (regions - 1)
+    backends = [
+        BackendSpec(name=f"region{index}-db") for index in range(regions)
+    ]
+    edges: list[EdgeSpec] = []
+    placement: dict[str, str] = {}
+    for region in range(regions):
+        local = slice_for(region)
+        if region == failed_region:
+            edge = EdgeSpec(
+                name=f"region{region}",
+                workload=local,
+                read_rate=read_rate,
+                update_rate=update_rate,
+                invalidation_loss=0.1,
+                # The failure window: total invalidation blackout.
+                invalidation_outages=((fail_at, recover_at),),
+            )
+        else:
+            # PhaseSwitch demands one key universe across phases, so the
+            # pre-failure mixture carries the replica at weight zero.
+            calm = MixtureWorkload([(1.0, local), (0.0, failed_slice)])
+            absorbing = MixtureWorkload(
+                [(1.0 - displaced_share, local), (displaced_share, failed_slice)]
+            )
+            takeover = PhaseSwitchWorkload(calm, absorbing, switch_time=fail_at)
+            edge = EdgeSpec(
+                name=f"region{region}",
+                workload=takeover,
+                read_workload=takeover,
+                read_rate=read_rate,
+                update_rate=update_rate,
+                invalidation_loss=0.1,
+            )
+        edges.append(edge)
+        placement[edge.name] = backends[region].name
+    return ScenarioSpec(
+        name=f"region-failure-{regions}regions",
+        description=(
+            f"region{failed_region} blacks out over [{fail_at:g}, "
+            f"{recover_at:g}) while {takeover_fraction:.0%} of its traffic "
+            f"shifts to {regions - 1} surviving backend(s)"
+        ),
+        edges=edges,
+        backends=backends,
+        placement=placement,
+        seed=seed,
+        duration=duration,
+        warmup=warmup,
+    )
+
+
+def capacity_planning_sweep(
+    *,
+    regions: int = 2,
+    edges_per_region: int = 2,
+    load_factors: tuple[float, ...] = (0.5, 1.0, 2.0),
+    shard_options: tuple[int, ...] = (1, 2),
+    objects_per_region: int = 400,
+    base_read_rate: float = 300.0,
+    base_update_rate: float = 60.0,
+    duration: float = 30.0,
+    warmup: float = 5.0,
+    seed: int = 701,
+):
+    """A capacity-planning grid over the regional tier, as a sweep spec.
+
+    Re-runs :func:`regional_backends_scenario` across every
+    ``(load factor, shard count)`` combination on one shared seed, so rows
+    differ only by the knob under study: how does the tier's per-backend
+    read load, commit throughput and inconsistency move as client traffic
+    multiplies, and how much of it does sharding buy back?  Returns a
+    :class:`~repro.experiments.sweep.SweepSpec` whose points are whole
+    scenarios — exactly the independent, chunkable units the dispatch tier
+    (``run_sweep(spec, dispatch=...)``) fans out across hosts.
+    """
+    # Imported lazily: the sweep engine imports the scenario package, so a
+    # module-level import here would be circular.
+    from repro.experiments.sweep import SweepPoint, SweepSpec
+
+    if not load_factors:
+        raise ConfigurationError("need at least one load factor")
+    if not shard_options:
+        raise ConfigurationError("need at least one shard count")
+    if any(factor <= 0 for factor in load_factors):
+        raise ConfigurationError(
+            f"load factors must be positive, got {load_factors}"
+        )
+    points = [
+        SweepPoint(
+            label=f"load{factor:g}x-shards{shards}",
+            scenario=regional_backends_scenario(
+                regions=regions,
+                edges_per_region=edges_per_region,
+                objects_per_region=objects_per_region,
+                shards=shards,
+                duration=duration,
+                warmup=warmup,
+                seed=seed,
+                read_rate=base_read_rate * factor,
+                update_rate=base_update_rate * factor,
+            ),
+            params={"load_factor": factor, "shards": shards},
+        )
+        for factor in load_factors
+        for shards in shard_options
+    ]
+    return SweepSpec(
+        name="capacity-planning",
+        description=(
+            f"{regions}-region tier under load x{list(load_factors)} with "
+            f"{list(shard_options)} shard option(s), one shared seed"
+        ),
+        root_seed=seed,
+        points=points,
     )

@@ -216,6 +216,8 @@ def build_scenario(spec: ScenarioSpec) -> Scenario:
             ),
             name=f"{edge_spec.name}/invalidations",
         )
+        for outage_start, outage_end in edge_spec.invalidation_outages:
+            channel.outage(outage_start, outage_end)
         database.register_invalidation_channel(channel)
         cache.add_transaction_listener(
             lambda record, _source=edge_spec.name, _backend=database.namespace: (

@@ -159,6 +159,12 @@ class EdgeSpec:
     invalidation_loss: float = 0.2
     #: Mean invalidation delivery latency (exponential), seconds.
     invalidation_latency_mean: float = 0.05
+    #: Half-open ``(start, end)`` sim-time windows during which this edge's
+    #: invalidation channel drops *everything* — the §II bursty pipeline
+    #: failures (config change, buffer saturation), declaratively.  The
+    #: runner applies each window via :meth:`~repro.sim.channel.Channel.outage`;
+    #: windows compose with the base ``invalidation_loss``.
+    invalidation_outages: tuple[tuple[float, float], ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -191,6 +197,16 @@ class EdgeSpec:
                 f"edge {self.name!r}: cache_capacity must be >= 1 or None, "
                 f"got {self.cache_capacity}"
             )
+        # Normalise (JSON round-trips deliver lists) and validate windows.
+        self.invalidation_outages = tuple(
+            (float(start), float(end)) for start, end in self.invalidation_outages
+        )
+        for start, end in self.invalidation_outages:
+            if start < 0 or end <= start:
+                raise ConfigurationError(
+                    f"edge {self.name!r}: outage window [{start}, {end}) must "
+                    "satisfy 0 <= start < end"
+                )
         if self.deplist_limit is not None:
             if self.cache_kind not in _CHECKING_KINDS:
                 raise ConfigurationError(
@@ -242,6 +258,7 @@ class EdgeSpec:
             "retry_aborted_reads": self.retry_aborted_reads,
             "invalidation_loss": self.invalidation_loss,
             "invalidation_latency_mean": self.invalidation_latency_mean,
+            "invalidation_outages": [list(window) for window in self.invalidation_outages],
         }
 
     @classmethod
@@ -288,6 +305,10 @@ class EdgeSpec:
             invalidation_loss=payload.get("invalidation_loss", 0.2),
             invalidation_latency_mean=payload.get(
                 "invalidation_latency_mean", 0.05
+            ),
+            invalidation_outages=tuple(
+                tuple(window)
+                for window in payload.get("invalidation_outages", ())
             ),
         )
 

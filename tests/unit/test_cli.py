@@ -41,6 +41,63 @@ class TestCli:
             main(["fig7ab", "--jobs", value])
         assert excinfo.value.code == 2
 
+    def test_worker_requires_connect(self, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["worker"])
+        assert excinfo.value.code == 2
+        assert "--connect" in capsys.readouterr().err
+
+    def test_connect_rejected_outside_worker(self, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig7ab", "--connect", "localhost:7643"])
+        assert excinfo.value.code == 2
+
+    def test_fault_rejected_outside_worker(self, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig7ab", "--fault", "crash:1"])
+        assert excinfo.value.code == 2
+
+    def test_worker_rejects_dispatch_flag(self, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["worker", "--connect", "localhost:1", "--dispatch", "h:2"])
+        assert excinfo.value.code == 2
+
+    @pytest.mark.parametrize("value", ["nocolon", "host:", "host:notaport", "h:70000"])
+    def test_bad_hostport_rejected_as_usage_error(self, value, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig7ab", "--dispatch", value])
+        assert excinfo.value.code == 2
+
+    def test_dispatch_port_zero_rejected(self, capsys) -> None:
+        # Port 0 would bind an ephemeral port nobody is told about.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig7ab", "--dispatch", "0.0.0.0:0"])
+        assert excinfo.value.code == 2
+        assert "ephemeral" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["", "crash", "explode:1", "stall:1:0"])
+    def test_bad_fault_rejected_as_usage_error(self, value, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["worker", "--connect", "localhost:1", "--fault", value])
+        assert excinfo.value.code == 2
+
+    def test_worker_with_no_coordinator_exits_nonzero(self, capsys) -> None:
+        # Port 1 is never listening; the worker must give up after the
+        # connect timeout and report failure (it served nothing).
+        assert (
+            main(
+                [
+                    "worker",
+                    "--connect",
+                    "127.0.0.1:1",
+                    "--connect-timeout",
+                    "0.2",
+                ]
+            )
+            == 1
+        )
+        assert "worker:" in capsys.readouterr().err
+
     def test_json_artifact_written_and_loadable(self, tmp_path, capsys) -> None:
         path = tmp_path / "fig7ab.json"
         assert main(["fig7ab", "--json", str(path)]) == 0

@@ -1,0 +1,115 @@
+"""Unit tests for the length-prefixed JSON framing layer."""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.dispatch.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    recv_frame,
+    send_frame,
+)
+from repro.errors import ProtocolError
+
+
+@pytest.fixture()
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestRoundTrip:
+    def test_simple_frame_round_trips(self, pair) -> None:
+        left, right = pair
+        payload = {"type": "hello", "worker": "w1", "protocol": PROTOCOL_VERSION}
+        send_frame(left, payload)
+        assert recv_frame(right) == payload
+
+    def test_unicode_and_nesting_survive(self, pair) -> None:
+        left, right = pair
+        payload = {"type": "result", "data": {"π": [1.5, None, "héllo"], "n": -3}}
+        send_frame(left, payload)
+        assert recv_frame(right) == payload
+
+    def test_float_values_are_exact(self, pair) -> None:
+        left, right = pair
+        values = [0.1 + 0.2, 1e-17, 3.141592653589793, 2**53 + 1.0]
+        send_frame(left, {"values": values})
+        received = recv_frame(right)["values"]
+        assert [v.hex() for v in received] == [v.hex() for v in values]
+
+    def test_many_frames_in_flight_keep_boundaries(self, pair) -> None:
+        left, right = pair
+        for index in range(20):
+            send_frame(left, {"seq": index})
+        for index in range(20):
+            assert recv_frame(right) == {"seq": index}
+
+    def test_large_frame_round_trips(self, pair) -> None:
+        left, right = pair
+        payload = {"series": [{"t": float(i), "v": i / 7} for i in range(5000)]}
+        writer = threading.Thread(target=send_frame, args=(left, payload))
+        writer.start()
+        assert recv_frame(right) == payload
+        writer.join()
+
+    def test_clean_eof_returns_none(self, pair) -> None:
+        left, right = pair
+        left.close()
+        assert recv_frame(right) is None
+
+
+class TestMalformedFrames:
+    def test_zero_length_rejected(self, pair) -> None:
+        left, right = pair
+        left.sendall(struct.pack(">I", 0))
+        with pytest.raises(ProtocolError, match="zero-length"):
+            recv_frame(right)
+
+    def test_oversized_length_rejected_without_allocating(self, pair) -> None:
+        left, right = pair
+        left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            recv_frame(right)
+
+    def test_truncated_body_rejected(self, pair) -> None:
+        left, right = pair
+        body = json.dumps({"type": "x"}).encode()
+        left.sendall(struct.pack(">I", len(body) + 10) + body)
+        left.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            recv_frame(right)
+
+    def test_truncated_header_rejected(self, pair) -> None:
+        left, right = pair
+        left.sendall(b"\x00\x00")
+        left.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            recv_frame(right)
+
+    def test_non_json_body_rejected(self, pair) -> None:
+        left, right = pair
+        body = b"\xff\xfenot json"
+        left.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError, match="undecodable"):
+            recv_frame(right)
+
+    def test_non_object_json_rejected(self, pair) -> None:
+        left, right = pair
+        body = json.dumps([1, 2, 3]).encode()
+        left.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError, match="JSON objects"):
+            recv_frame(right)
+
+    def test_sending_non_dict_rejected(self, pair) -> None:
+        left, _ = pair
+        with pytest.raises(ProtocolError, match="JSON objects"):
+            send_frame(left, [1, 2, 3])

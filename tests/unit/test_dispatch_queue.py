@@ -1,0 +1,139 @@
+"""Unit tests for the lease-based dispatch work queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dispatch.queue import WorkQueue
+from repro.errors import ConfigurationError
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_queue(total=6, chunk_size=2, lease_timeout=10.0):
+    clock = FakeClock()
+    queue = WorkQueue(
+        total, chunk_size=chunk_size, lease_timeout=lease_timeout, clock=clock
+    )
+    return queue, clock
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            WorkQueue(-1, chunk_size=1, lease_timeout=1.0)
+        with pytest.raises(ConfigurationError):
+            WorkQueue(3, chunk_size=0, lease_timeout=1.0)
+        with pytest.raises(ConfigurationError):
+            WorkQueue(3, chunk_size=1, lease_timeout=0.0)
+
+    def test_out_of_range_result_rejected(self) -> None:
+        queue, _ = make_queue(total=3, chunk_size=1)
+        with pytest.raises(ConfigurationError):
+            queue.complete(3, "r", "w")
+        with pytest.raises(ConfigurationError):
+            queue.complete(-1, "r", "w")
+
+
+class TestHappyPath:
+    def test_chunking_covers_every_index_once(self) -> None:
+        queue, _ = make_queue(total=5, chunk_size=2)
+        seen: list[int] = []
+        while (chunk := queue.acquire("w")) is not None:
+            seen.extend(chunk.indices)
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_empty_queue_is_done_immediately(self) -> None:
+        queue, _ = make_queue(total=0)
+        assert queue.done
+        assert queue.acquire("w") is None
+
+    def test_done_only_when_every_result_in(self) -> None:
+        queue, _ = make_queue(total=2, chunk_size=2)
+        chunk = queue.acquire("w")
+        queue.complete(chunk.indices[0], "r0", "w")
+        assert not queue.done
+        queue.complete(chunk.indices[1], "r1", "w")
+        assert queue.done
+        assert queue.results_by_index() == {0: "r0", 1: "r1"}
+
+    def test_duplicate_result_ignored_first_writer_wins(self) -> None:
+        queue, _ = make_queue(total=1, chunk_size=1)
+        queue.acquire("a")
+        assert queue.complete(0, "first", "a") is True
+        assert queue.complete(0, "second", "b") is False
+        assert queue.results_by_index() == {0: "first"}
+        assert queue.stats.duplicate_results == 1
+
+
+class TestFailureRecovery:
+    def test_release_requeues_only_unfinished_indices(self) -> None:
+        queue, _ = make_queue(total=4, chunk_size=4)
+        chunk = queue.acquire("dead")
+        queue.complete(0, "r0", "dead")  # streamed before the crash
+        assert queue.release("dead") == 1
+        reassigned = queue.acquire("alive")
+        assert reassigned.indices == (1, 2, 3)  # finished work not re-run
+        assert queue.stats.chunks_reassigned == 1
+        assert chunk.chunk_id == reassigned.chunk_id
+
+    def test_lease_expiry_reassigns_on_next_acquire(self) -> None:
+        queue, clock = make_queue(total=2, chunk_size=2, lease_timeout=5.0)
+        queue.acquire("stalled")
+        clock.advance(5.1)
+        chunk = queue.acquire("alive")
+        assert chunk is not None and chunk.indices == (0, 1)
+        assert queue.stats.leases_expired == 1
+
+    def test_explicit_expiry_sweep(self) -> None:
+        queue, clock = make_queue(total=2, chunk_size=2, lease_timeout=5.0)
+        queue.acquire("stalled")
+        assert queue.expire_stale_leases() == 0
+        clock.advance(5.1)
+        assert queue.expire_stale_leases() == 1
+
+    def test_heartbeat_keeps_lease_alive(self) -> None:
+        queue, clock = make_queue(total=2, chunk_size=2, lease_timeout=5.0)
+        queue.acquire("busy")
+        clock.advance(4.0)
+        assert queue.heartbeat("busy") == 1
+        clock.advance(4.0)  # 8s total, but re-armed at 4s
+        assert queue.acquire("other") is None  # nothing expired, nothing pending
+        clock.advance(5.1)
+        assert queue.acquire("other").indices == (0, 1)
+
+    def test_results_extend_lease_like_heartbeats(self) -> None:
+        queue, clock = make_queue(total=3, chunk_size=3, lease_timeout=5.0)
+        queue.acquire("busy")
+        clock.advance(4.0)
+        queue.complete(0, "r0", "busy")
+        clock.advance(4.0)
+        assert queue.acquire("other") is None
+
+    def test_late_result_after_reassignment_is_duplicate(self) -> None:
+        queue, clock = make_queue(total=1, chunk_size=1, lease_timeout=5.0)
+        queue.acquire("slow")
+        clock.advance(6.0)
+        chunk = queue.acquire("fast")
+        queue.complete(0, "fast-result", "fast")
+        assert queue.complete(0, "slow-result", "slow") is False
+        assert queue.results_by_index() == {0: "fast-result"}
+        assert chunk.indices == (0,)
+
+    def test_fully_completed_chunk_not_requeued_on_release(self) -> None:
+        queue, _ = make_queue(total=2, chunk_size=2)
+        queue.acquire("w")
+        queue.complete(0, "r0", "w")
+        queue.complete(1, "r1", "w")
+        assert queue.release("w") == 0
+        assert queue.acquire("other") is None
+        assert queue.done

@@ -52,6 +52,7 @@ class TestPublicAPI:
             "repro.clients",
             "repro.experiments",
             "repro.scenario",
+            "repro.dispatch",
         ],
     )
     def test_subpackages_have_docstrings(self, module_name: str) -> None:

@@ -11,17 +11,20 @@ from dataclasses import replace
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DispatchError
 from repro.experiments.config import ColumnConfig
 from repro.experiments.sweep import (
     SweepPoint,
     SweepSpec,
     config_as_dict,
+    config_from_dict,
     derive_seed,
+    ordered_results,
     resolve_jobs,
     run_sweep,
+    spec_artifact,
 )
-from repro.workloads.synthetic import PerfectClusterWorkload
+from repro.workloads.synthetic import PerfectClusterWorkload, UniformWorkload
 
 
 def tiny_spec(n_points: int = 3, duration: float = 1.0) -> SweepSpec:
@@ -159,6 +162,130 @@ class TestExecution:
     def test_empty_spec_runs_to_empty_result(self) -> None:
         sweep = run_sweep(SweepSpec(name="empty", points=[]), jobs=4)
         assert sweep.results == []
+
+
+class OpaqueWorkload:
+    """A workload outside the portable synthetic families."""
+
+    def access_set(self, rng, now):  # pragma: no cover - never executed
+        return []
+
+    def all_keys(self):
+        return ["o%06d" % index for index in range(10)]
+
+
+class TestOrderedResults:
+    def test_restores_index_order(self) -> None:
+        assert ordered_results(3, {2: "c", 0: "a", 1: "b"}) == ["a", "b", "c"]
+        assert ordered_results(0, {}) == []
+
+    def test_missing_indices_fail_loudly(self) -> None:
+        with pytest.raises(DispatchError, match=r"\[1\]"):
+            ordered_results(2, {0: "a"})
+
+
+class TestSpecRoundTrip:
+    def test_column_spec_round_trips_through_json(self) -> None:
+        spec = tiny_spec(3)
+        payload = json.loads(json.dumps(spec.as_dict()))
+        back = SweepSpec.from_dict(payload)
+        assert back.as_dict() == spec.as_dict()
+        assert [p.label for p in back.points] == [p.label for p in spec.points]
+        assert back.points[1].config == spec.points[1].config
+
+    def test_rebuilt_spec_runs_identically(self) -> None:
+        spec = tiny_spec(2)
+        back = SweepSpec.from_dict(json.loads(json.dumps(spec.as_dict())))
+        original = run_sweep(spec, jobs=1)
+        replayed = run_sweep(back, jobs=1)
+        for left, right in zip(original.results, replayed.results):
+            assert json.dumps(left.series) == json.dumps(right.series)
+            assert left.counts == right.counts
+
+    def test_scenario_point_round_trips(self) -> None:
+        from repro.scenario import heterogeneous_loss_fleet
+
+        point = SweepPoint(
+            label="fleet",
+            scenario=heterogeneous_loss_fleet(edges=2, duration=1.0),
+            params={"edges": 2},
+        )
+        back = SweepPoint.from_dict(json.loads(json.dumps(point.as_dict())))
+        assert back.scenario.as_dict() == point.scenario.as_dict()
+        assert back.params == {"edges": 2}
+
+    def test_read_workload_travels(self) -> None:
+        point = SweepPoint(
+            label="split",
+            config=ColumnConfig(seed=1, duration=1.0),
+            workload=PerfectClusterWorkload(n_objects=100, cluster_size=5),
+            read_workload=UniformWorkload(n_objects=100),
+        )
+        back = SweepPoint.from_dict(json.loads(json.dumps(point.as_dict())))
+        assert isinstance(back.read_workload, UniformWorkload)
+        assert back.read_workload.n_objects == 100
+
+    def test_non_portable_workload_recorded_as_null(self) -> None:
+        point = SweepPoint(
+            label="opaque",
+            config=ColumnConfig(seed=1, duration=1.0),
+            workload=OpaqueWorkload(),
+        )
+        payload = point.as_dict()
+        assert payload["workload"] == "OpaqueWorkload"
+        assert payload["workload_spec"] is None
+        json.dumps(payload)  # still a valid, descriptive artifact
+
+    def test_non_portable_point_fails_loudly_on_rebuild(self) -> None:
+        point = SweepPoint(
+            label="opaque",
+            config=ColumnConfig(seed=1, duration=1.0),
+            workload=OpaqueWorkload(),
+        )
+        with pytest.raises(ConfigurationError, match="portable"):
+            SweepPoint.from_dict(point.as_dict())
+        spec = SweepSpec(name="s", points=[point])
+        with pytest.raises(ConfigurationError, match="portable"):
+            SweepSpec.from_dict(spec_artifact(spec))
+
+    def test_non_portable_read_workload_fails_loudly(self) -> None:
+        point = SweepPoint(
+            label="opaque-read",
+            config=ColumnConfig(seed=1, duration=1.0),
+            workload=PerfectClusterWorkload(n_objects=100, cluster_size=5),
+            read_workload=OpaqueWorkload(),
+        )
+        payload = point.as_dict()
+        assert payload["read_workload_spec"] is None
+        with pytest.raises(ConfigurationError, match="read_workload_spec"):
+            SweepPoint.from_dict(payload)
+
+    def test_payload_without_columns_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="columns"):
+            SweepSpec.from_dict({"spec": "x"})
+
+
+class TestConfigRoundTrip:
+    def test_defaults_and_enums_round_trip(self) -> None:
+        from repro.core.strategies import Strategy
+
+        config = ColumnConfig(
+            seed=5, duration=3.0, strategy=Strategy.EVICT, deplist_max=7
+        )
+        back = config_from_dict(json.loads(json.dumps(config_as_dict(config))))
+        assert back == config
+
+    def test_unknown_enum_name_rejected(self) -> None:
+        payload = config_as_dict(ColumnConfig(seed=1))
+        payload["strategy"] = "PANIC"
+        with pytest.raises(ConfigurationError, match="enum"):
+            config_from_dict(payload)
+
+    def test_misspelled_field_rejected(self) -> None:
+        payload = config_as_dict(ColumnConfig(seed=1))
+        payload["seeed"] = 3
+        with pytest.raises(ConfigurationError, match="seeed"):
+            config_from_dict(payload)
 
 
 class TestArtifacts:
