@@ -1,0 +1,19 @@
+"""Performance harness: the repo's own perf trajectory, measured.
+
+The ``repro-experiments bench`` command runs a small deterministic suite
+(:func:`run_suite`) — kernel events/sec on a reference column, SGT
+checks/sec at growing history sizes, the §III-A dependency-list merge at
+the paper's ``k = 5``, and one multi-backend scenario — and writes a
+schema'd JSON payload. One such payload per perf-relevant PR is committed
+at the repo root (``BENCH_<n>.json``), so every future change is
+accountable to the recorded baseline; CI re-runs the suite at reduced
+scale and reports the drift (see the ``bench-smoke`` job).
+"""
+
+from repro.bench.suite import (
+    BENCH_SCHEMA,
+    compare_payloads,
+    run_suite,
+)
+
+__all__ = ["BENCH_SCHEMA", "compare_payloads", "run_suite"]

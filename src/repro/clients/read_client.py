@@ -68,6 +68,7 @@ class ReadOnlyClient:
         self._cache = cache
         self._workload = workload
         self._rate = rate
+        self._mean_gap = 1.0 / rate
         self._rng = rng
         self._txn_ids = txn_ids
         self._read_gap = read_gap
@@ -85,15 +86,18 @@ class ReadOnlyClient:
             self._sim.process(self._transaction(keys, attempt=0))
 
     def _transaction(self, keys: list, attempt: int):
+        stats = self.stats
         if attempt == 0:
-            self.stats.launched += 1
-        self.stats.attempts += 1
+            stats.launched += 1
+        stats.attempts += 1
         txn_id = next(self._txn_ids)
+        cache_read = self._cache.read
+        last = len(keys) - 1
         try:
             for position, key in enumerate(keys):
-                last_op = position == len(keys) - 1
-                self._cache.read(txn_id, key, last_op)
-                self.stats.reads += 1
+                last_op = position == last
+                cache_read(txn_id, key, last_op)
+                stats.reads += 1
                 if not last_op and self._read_gap:
                     yield self._sim.timeout(self._read_gap)
         except TransactionAborted:
@@ -106,7 +110,6 @@ class ReadOnlyClient:
         self.stats.committed += 1
 
     def _next_gap(self) -> float:
-        mean = 1.0 / self._rate
         if self._poisson:
-            return float(self._rng.exponential(mean))
-        return mean
+            return float(self._rng.exponential(self._mean_gap))
+        return self._mean_gap

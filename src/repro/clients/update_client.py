@@ -57,6 +57,7 @@ class UpdateClient:
         self._database = database
         self._workload = workload
         self._rate = rate
+        self._mean_gap = 1.0 / rate
         self._rng = rng
         self._max_retries = max_retries
         self._poisson = poisson
@@ -98,10 +99,9 @@ class UpdateClient:
     # ------------------------------------------------------------------
 
     def _next_gap(self) -> float:
-        mean = 1.0 / self._rate
         if self._poisson:
-            return float(self._rng.exponential(mean))
-        return mean
+            return float(self._rng.exponential(self._mean_gap))
+        return self._mean_gap
 
     def completion_event(self) -> Event:
         """The client process itself (never completes unless killed)."""

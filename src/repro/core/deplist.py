@@ -197,19 +197,51 @@ class DependencyList:
             best_version.pop(exclude, None)
 
         pinned = pinned or frozenset()
-        sort_key = _PRUNING_POLICIES[policy]
-        ordered_keys = sorted(
-            best_rank,
-            key=lambda k: (k not in pinned, *sort_key(k, best_rank, best_version)),
-        )
+        if not pinned and policy == "lru":
+            # Commit hot path (the paper's policy, no pinned keys): the
+            # ``k not in pinned`` prefix is constant and the LRU order is
+            # plain ``(rank, key)``, so sort tuples instead of calling a
+            # key function per entry.
+            ordered_keys = [
+                key for _, key in sorted(
+                    (rank, key) for key, rank in best_rank.items()
+                )
+            ]
+        else:
+            sort_key = _PRUNING_POLICIES[policy]
+            ordered_keys = sorted(
+                best_rank,
+                key=lambda k: (k not in pinned, *sort_key(k, best_rank, best_version)),
+            )
         if max_len != UNBOUNDED:
             ordered_keys = ordered_keys[:max_len]
-        return cls(DepEntry(key, best_version[key]) for key in ordered_keys)
+        # One entry per key by construction; skip the constructor's dedup.
+        return cls.from_trusted(
+            [DepEntry(key, best_version[key]) for key in ordered_keys]
+        )
 
     @classmethod
     def from_pairs(cls, pairs: Iterable[tuple[Key, Version]]) -> "DependencyList":
         """Build a list from ``(key, version)`` pairs in recency order."""
         return cls(DepEntry(key, version) for key, version in pairs)
+
+    @classmethod
+    def from_trusted(cls, entries: Sequence[DepEntry]) -> "DependencyList":
+        """Wrap entries that are *already* deduplicated, skipping subsumption.
+
+        The per-read hot path: every transactional cache read wraps the
+        dependency tuple shipped with a :class:`~repro.types.VersionedValue`,
+        and those tuples are the ``entries`` of a list this class built at
+        commit time — one key per entry, subsumption already applied (a
+        prefix slice of such a tuple keeps the invariant). Running the full
+        constructor would re-dedupe an input that cannot contain duplicates.
+        """
+        instance = cls.__new__(cls)
+        instance._entries = tuple(entries)
+        # Built lazily: the hot consumers (the per-read §III-B checks)
+        # iterate entries and never probe by key.
+        instance._by_key = None
+        return instance
 
     # ------------------------------------------------------------------
     # Queries
@@ -220,13 +252,22 @@ class DependencyList:
         """Entries in recency order, most recent first."""
         return self._entries
 
+    def _mapping(self) -> dict[Key, Version]:
+        """Key -> version index, built on first by-key probe."""
+        by_key = self._by_key
+        if by_key is None:
+            by_key = self._by_key = {
+                entry.key: entry.version for entry in self._entries
+            }
+        return by_key
+
     def required_version(self, key: Key) -> Version | None:
         """The minimum version of ``key`` a dependant must observe, if any."""
-        return self._by_key.get(key)
+        return self._mapping().get(key)
 
     def keys(self) -> set[Key]:
         """The set of keys this list constrains."""
-        return set(self._by_key)
+        return set(self._mapping())
 
     def as_pairs(self) -> tuple[tuple[Key, Version], ...]:
         """The entries as plain ``(key, version)`` pairs, recency order."""
@@ -239,7 +280,7 @@ class DependencyList:
         return iter(self._entries)
 
     def __contains__(self, key: object) -> bool:
-        return key in self._by_key
+        return key in self._mapping()
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DependencyList):

@@ -136,10 +136,37 @@ def check_read(
     strictly better — the Equation 1 check then runs against the fresh
     value's dependency list inside the retry path.
     """
-    report = check_equation2(context, key_curr, ver_curr)
-    if report is not None:
-        return report
-    report = check_repeated_read(context, key_curr, ver_curr)
-    if report is not None:
-        return report
-    return check_equation1(context, key_curr, deps_curr)
+    # The three checks are inlined (rather than delegated to the functions
+    # above, which remain the documented/testable forms) because this runs
+    # once per transactional read and is dominated by call overhead. The
+    # fast path — no violation — is three dict probes and a deplist scan.
+    requirement = context.requirements.get(key_curr)
+    if requirement is not None and requirement[0] > ver_curr:
+        return InconsistencyReport(
+            equation=2,
+            stale_key=key_curr,
+            found_version=ver_curr,
+            required_version=requirement[0],
+            demanding_key=requirement[1],
+        )
+    previous = context.read_versions.get(key_curr)
+    if previous is not None and ver_curr > previous:
+        return InconsistencyReport(
+            equation=1,
+            stale_key=key_curr,
+            found_version=previous,
+            required_version=ver_curr,
+            demanding_key=key_curr,
+        )
+    read_versions = context.read_versions
+    for entry in deps_curr:
+        previous = read_versions.get(entry.key)
+        if previous is not None and entry.version > previous:
+            return InconsistencyReport(
+                equation=1,
+                stale_key=entry.key,
+                found_version=previous,
+                required_version=entry.version,
+                demanding_key=key_curr,
+            )
+    return None

@@ -10,6 +10,7 @@ checked in O(size of its dependency list) rather than O(reads × list size).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.core.deplist import DependencyList
 from repro.types import Key, TxnId, Version
@@ -17,9 +18,12 @@ from repro.types import Key, TxnId, Version
 __all__ = ["ReadRecord", "TransactionContext"]
 
 
-@dataclass(frozen=True, slots=True)
-class ReadRecord:
-    """One read the transaction performed: key, version seen, stored deps."""
+class ReadRecord(NamedTuple):
+    """One read the transaction performed: key, version seen, stored deps.
+
+    One is appended per transactional read, so construction cost matters —
+    hence a ``NamedTuple``.
+    """
 
     key: Key
     version: Version
@@ -53,9 +57,17 @@ class TransactionContext:
         if prior is None or version > prior:
             self.read_versions[key] = version
 
-        self._require(key, version, key)
+        # _require, inlined: this runs once per dependency entry of every
+        # transactional read, and the call overhead dominated the work.
+        requirements = self.requirements
+        current = requirements.get(key)
+        if current is None or version > current[0]:
+            requirements[key] = (version, key)
         for entry in deps:
-            self._require(entry.key, entry.version, key)
+            entry_key = entry.key
+            current = requirements.get(entry_key)
+            if current is None or entry.version > current[0]:
+                requirements[entry_key] = (entry.version, key)
 
     def _require(self, key: Key, version: Version, source: Key) -> None:
         current = self.requirements.get(key)

@@ -140,8 +140,8 @@ class TCache(CacheServer):
         pruning policy (most-recently-used first for the paper's LRU).
         """
         if self.deplist_limit is None:
-            return DependencyList(entry.deps)
-        return DependencyList(entry.deps[: self.deplist_limit])
+            return DependencyList.from_trusted(entry.deps)
+        return DependencyList.from_trusted(entry.deps[: self.deplist_limit])
 
     # ------------------------------------------------------------------
     # Strategy actions

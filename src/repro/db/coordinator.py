@@ -70,11 +70,16 @@ class TransactionHandle:
     wounded: bool = False
     abort_reason: str | None = None
     reads: dict[Key, VersionedValue] = field(default_factory=dict)
+    #: Memoised all_keys(); the key sets are frozen at construction.
+    _keys_cache: tuple[Key, ...] | None = None
 
     def all_keys(self) -> tuple[Key, ...]:
-        seen = dict.fromkeys(self.read_keys)
-        seen.update(dict.fromkeys(self.write_keys))
-        return tuple(seen)
+        cached = self._keys_cache
+        if cached is None:
+            seen = dict.fromkeys(self.read_keys)
+            seen.update(dict.fromkeys(self.write_keys))
+            cached = self._keys_cache = tuple(seen)
+        return cached
 
 
 class Coordinator:
@@ -219,8 +224,10 @@ class Coordinator:
             direct[key] = version if key in write_set else entry.version
         for key in write_set:
             direct.setdefault(key, version)
+        # Stored deps tuples are the entries of lists this merge built at
+        # earlier commits — already deduplicated, so skip re-subsumption.
         inherited = [
-            DependencyList(txn.reads[key].deps) for key in txn.reads
+            DependencyList.from_trusted(entry.deps) for entry in txn.reads.values()
         ]
         return {
             key: DependencyList.merge(

@@ -10,16 +10,19 @@ reads T-Cache detects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.types import Key, TxnId, Version
 
 __all__ = ["InvalidationRecord"]
 
 
-@dataclass(frozen=True, slots=True)
-class InvalidationRecord:
-    """One modified object announced by a committed update transaction."""
+class InvalidationRecord(NamedTuple):
+    """One modified object announced by a committed update transaction.
+
+    One is built per written object of every commit; a ``NamedTuple`` keeps
+    that (and the channel hop) cheap.
+    """
 
     key: Key
     #: The version the committing transaction installed. A cache holding a

@@ -67,6 +67,10 @@ class LockManager:
         self._sim = sim
         self._locks: dict[Key, _KeyLock] = {}
         self._held_by_txn: dict[TxnId, set[Key]] = {}
+        #: Keys on whose queue each transaction ever waited, in join order.
+        #: Lets release_all cancel waits without scanning every lock table
+        #: entry in the store (dict-as-ordered-set for determinism).
+        self._queued_by_txn: dict[TxnId, dict[Key, None]] = {}
         self._ages: dict[TxnId, int] = {}
         self._wound_callbacks: dict[TxnId, Callable[[TxnId], None]] = {}
         self._prepared: set[TxnId] = set()
@@ -104,7 +108,9 @@ class LockManager:
         if txn_id not in self._ages:
             raise SimulationError(f"transaction {txn_id} not registered with lock manager")
         event = self._sim.event()
-        state = self._locks.setdefault(key, _KeyLock())
+        state = self._locks.get(key)
+        if state is None:
+            state = self._locks[key] = _KeyLock()
 
         held = state.holders.get(txn_id)
         if held is not None:
@@ -119,6 +125,7 @@ class LockManager:
                 return event
             self._wound_younger(txn_id, others)
             state.queue.insert(0, LockRequest(txn_id, self._ages[txn_id], mode, event))
+            self._queued_by_txn.setdefault(txn_id, {})[key] = None
             return event
 
         conflicting = [
@@ -134,6 +141,7 @@ class LockManager:
         if conflicting:
             self._wound_younger(txn_id, conflicting)
         state.queue.append(LockRequest(txn_id, self._ages[txn_id], mode, event))
+        self._queued_by_txn.setdefault(txn_id, {})[key] = None
         return event
 
     def release_all(self, txn_id: TxnId) -> None:
@@ -145,7 +153,10 @@ class LockManager:
                 continue
             state.holders.pop(txn_id, None)
             self._promote_waiters(state, key)
-        for state in self._locks.values():
+        for queued_key in self._queued_by_txn.pop(txn_id, ()):
+            state = self._locks.get(queued_key)
+            if state is None:
+                continue
             for request in state.queue:
                 if request.txn_id == txn_id and not request.cancelled:
                     request.cancelled = True
@@ -205,7 +216,7 @@ class LockManager:
                 if callback is not None:
                     # Deliver asynchronously so the victim aborts through its
                     # own control flow, not re-entrantly inside acquire().
-                    self._sim.schedule(0.0, lambda cb=callback, h=holder: cb(h))
+                    self._sim.schedule(0.0, callback, holder)
 
     def _promote_waiters(self, state: _KeyLock, key: Key) -> None:
         """Grant queued requests that are now compatible, in FIFO order."""

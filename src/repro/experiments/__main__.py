@@ -15,9 +15,17 @@ machine-readable artifact::
     python -m repro.experiments fig3 --dispatch 0.0.0.0:7643 --json fig3.json
     python -m repro.experiments worker --connect coordinator-host:7643
 
+    # performance: the tracked bench suite, and profiling any experiment
+    python -m repro.experiments bench --json BENCH.json --baseline BENCH_5.json
+    python -m repro.experiments fig3 --duration 5 --profile fig3.prof
+
 Experiment ids: fig3, fig4, fig5, fig6, fig7ab, fig7c, fig7d, fig8,
-theorem1, sensitivity, scenario — plus ``worker``, which is not an
-experiment but a dispatch worker process.  ``scenario`` runs the
+theorem1, sensitivity, scenario — plus two non-experiment commands:
+``worker``, a dispatch worker process, and ``bench``, the deterministic
+performance suite (see :mod:`repro.bench`; ``--bench-scale`` shrinks it,
+``--baseline`` prints report-only drift against a recorded ``BENCH_*.json``).
+``--profile PATH`` wraps any command in :mod:`cProfile` and dumps the stats
+file for ``pstats``/snakeviz.  ``scenario`` runs the
 multi-edge library fleets (heterogeneous loss ramp sized by ``--edges``,
 geo-skewed regions, flash crowd, plus — with ``--backends >= 2`` — the
 routed backend tiers, the region-failure drill and the capacity-planning
@@ -284,6 +292,64 @@ EXPERIMENTS = {
 }
 
 
+def _run_bench_command(args, parser: argparse.ArgumentParser) -> int:
+    """The ``bench`` command: run the tracked perf suite (see repro.bench)."""
+    import json
+
+    from repro.bench import compare_payloads, run_suite
+
+    try:
+        payload = run_suite(scale=args.bench_scale)
+    except ValueError as exc:
+        parser.error(str(exc))
+    results = payload["results"]
+    rows = [
+        {
+            "probe": "column_throughput",
+            "metric": "events/sec",
+            "value": round(results["column_throughput"]["events_per_sec"], 1),
+        },
+        *(
+            {
+                "probe": f"sgt @{entry['history_size']} updates",
+                "metric": "checks/sec",
+                "value": round(entry["checks_per_sec"], 1),
+            }
+            for entry in results["sgt_checks"]["by_size"]
+        ),
+        {
+            "probe": "deplist_merge (k=5)",
+            "metric": "merges/sec",
+            "value": round(results["deplist_merge"]["merges_per_sec"], 1),
+        },
+        {
+            "probe": "scenario (2 backends)",
+            "metric": "txns/wall-sec",
+            "value": round(results["scenario"]["transactions_per_wall_sec"], 1),
+        },
+    ]
+    print_table(rows, title=f"Bench suite (scale={args.bench_scale:g})")
+    if args.json_path:
+        # Written before the baseline diff: a completed suite run is never
+        # lost to a failed comparison (e.g. a scale mismatch).
+        write_json(args.json_path, payload)
+        print(f"[wrote {args.json_path}]")
+    if args.baseline is not None:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        try:
+            drift = compare_payloads(payload, baseline)
+        except ValueError as exc:
+            print(f"bench: {exc}", file=sys.stderr)
+            return 1
+        print()
+        print_table(drift, title=f"Drift vs {args.baseline} (report-only)")
+        slower = [row["metric"] for row in drift if row["regressed"]]
+        if slower:
+            print(f"[report-only: slower than baseline tolerance on {slower}]")
+    return 0
+
+
 def _run_worker_command(args, parser: argparse.ArgumentParser) -> int:
     """The ``worker`` command: serve dispatch coordinators until idle.
 
@@ -326,6 +392,25 @@ def _run_worker_command(args, parser: argparse.ArgumentParser) -> int:
         )
 
 
+def _with_profile(path: str | None, work):
+    """Run ``work()`` — under :mod:`cProfile` when ``--profile`` was given."""
+    if path is None:
+        return work()
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return work()
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)
+        print(
+            f"[profile written to {path}; inspect with "
+            f"'python -m pstats {path}' or snakeviz]"
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -333,9 +418,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "worker"],
-        help="which figure to regenerate, or 'worker' to serve a dispatch "
-        "coordinator",
+        choices=[*EXPERIMENTS, "all", "worker", "bench"],
+        help="which figure to regenerate, 'worker' to serve a dispatch "
+        "coordinator, or 'bench' to run the tracked performance suite",
     )
     parser.add_argument(
         "--duration",
@@ -379,7 +464,31 @@ def main(argv: list[str] | None = None) -> int:
         dest="json_path",
         metavar="PATH",
         default=None,
-        help="write the full (unsampled) rows plus run metadata as JSON",
+        help="write the full (unsampled) rows plus run metadata as JSON "
+        "(for bench: the repro.bench payload)",
+    )
+    parser.add_argument(
+        "--profile",
+        dest="profile_path",
+        metavar="PATH",
+        default=None,
+        help="run under cProfile and dump the stats file here",
+    )
+    bench_group = parser.add_argument_group("performance suite (see repro.bench)")
+    bench_group.add_argument(
+        "--bench-scale",
+        type=float,
+        default=1.0,
+        metavar="FACTOR",
+        help="bench command only: scale the suite's durations and history "
+        "sizes (default: 1.0, the committed-baseline scale)",
+    )
+    bench_group.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="bench command only: recorded BENCH_*.json to diff against "
+        "(report-only; exits 0 regardless of drift)",
     )
 
     def _hostport_arg(text: str) -> tuple[str, int]:
@@ -435,16 +544,33 @@ def main(argv: list[str] | None = None) -> int:
         "stall:N:SECS (go silent mid-run), disconnect:N",
     )
     args = parser.parse_args(argv)
+    if args.experiment != "bench":
+        # Bench-only flags fail loudly on every other command, including
+        # worker — a silently dropped flag looks like a reduced-scale run.
+        if args.baseline is not None:
+            parser.error("--baseline only applies to the bench command")
+        if args.bench_scale != 1.0:
+            parser.error("--bench-scale only applies to the bench command")
     if args.experiment == "worker":
         if args.connect is None:
             parser.error("worker requires --connect HOST:PORT")
         if args.dispatch is not None:
             parser.error("--dispatch belongs to the coordinator side, not worker")
-        return _run_worker_command(args, parser)
+        return _with_profile(
+            args.profile_path, lambda: _run_worker_command(args, parser)
+        )
     if args.connect is not None:
         parser.error("--connect only applies to the worker command")
     if args.fault is not None:
         parser.error("--fault only applies to the worker command")
+    if args.experiment == "bench":
+        if args.dispatch is not None:
+            parser.error("the bench suite runs locally; --dispatch is not supported")
+        if args.baseline is not None and not os.path.isfile(args.baseline):
+            parser.error(f"--baseline: no such file: {args.baseline}")
+        return _with_profile(
+            args.profile_path, lambda: _run_bench_command(args, parser)
+        )
     if args.dispatch is not None and args.dispatch[1] == 0:
         # Port 0 binds an OS-chosen port nobody is told about; it is only
         # useful programmatically, where Coordinator.address can be read.
@@ -485,37 +611,42 @@ def main(argv: list[str] | None = None) -> int:
             f"--connect <this-host>:{dispatch.port}']"
         )
     payloads = []
-    for name in selected:
-        start = time.perf_counter()
-        if name == "scenario":
-            sections, specs = EXPERIMENTS[name](
-                duration,
-                jobs,
-                dispatch=dispatch,
-                edges=args.edges,
-                backends=args.backends,
-                spec_path=args.spec_path,
-                spec_duration=args.duration,
+
+    def _run_selected() -> None:
+        nonlocal duration
+        for name in selected:
+            start = time.perf_counter()
+            if name == "scenario":
+                sections, specs = EXPERIMENTS[name](
+                    duration,
+                    jobs,
+                    dispatch=dispatch,
+                    edges=args.edges,
+                    backends=args.backends,
+                    spec_path=args.spec_path,
+                    spec_duration=args.duration,
+                )
+                if args.spec_path is not None and args.duration is None:
+                    # The replay honoured the recorded duration; make the
+                    # artifact metadata report what was actually simulated.
+                    duration = specs[0].points[0].scenario.duration
+            else:
+                sections, specs = EXPERIMENTS[name](duration, jobs, dispatch=dispatch)
+            elapsed = time.perf_counter() - start
+            for section in sections:
+                stride = section.get("stride", 1)
+                print_table(section["rows"][::stride], title=section["title"])
+            print(f"[{name} done in {elapsed:.1f}s]\n")
+            payloads.append(
+                experiment_payload(
+                    name,
+                    sections,
+                    wall_clock_seconds=elapsed,
+                    sweep_specs=[spec_artifact(spec) for spec in specs],
+                )
             )
-            if args.spec_path is not None and args.duration is None:
-                # The replay honoured the recorded duration; make the
-                # artifact metadata report what was actually simulated.
-                duration = specs[0].points[0].scenario.duration
-        else:
-            sections, specs = EXPERIMENTS[name](duration, jobs, dispatch=dispatch)
-        elapsed = time.perf_counter() - start
-        for section in sections:
-            stride = section.get("stride", 1)
-            print_table(section["rows"][::stride], title=section["title"])
-        print(f"[{name} done in {elapsed:.1f}s]\n")
-        payloads.append(
-            experiment_payload(
-                name,
-                sections,
-                wall_clock_seconds=elapsed,
-                sweep_specs=[spec_artifact(spec) for spec in specs],
-            )
-        )
+
+    _with_profile(args.profile_path, _run_selected)
 
     if args.json_path:
         write_json(

@@ -20,11 +20,34 @@ adds, per standard serialization-graph construction:
 ``T`` serializes with the update history iff the combined graph has no cycle
 through ``T``, which — since update transactions alone form a DAG — is
 exactly the existence of a path ``N_j ->* W_i`` for some pair ``(j, i)``
-(including the degenerate path ``N_j = W_i``). The tester materialises
-version chains and reader indexes and answers that reachability question
-with a breadth-first search that only expands transactions whose version is
-at most ``max_i version(W_i)`` — every conflict edge increases the version,
-so nothing beyond that bound can reach a writer.
+(including the degenerate path ``N_j = W_i``). The tester answers that
+reachability question with a breadth-first search that only expands
+transactions whose version is at most ``max_i version(W_i)`` — every
+conflict edge increases the version, so nothing beyond that bound can reach
+a writer.
+
+Incremental adjacency
+---------------------
+Earlier revisions re-derived a transaction's outgoing conflict edges on
+every BFS expansion (per-key ``bisect`` over the version chains plus reader
+lookups), which made each check pay ``O(edges x log chain)`` in dictionary
+and bisect traffic. The tester now maintains the adjacency **incrementally**
+in :meth:`record_update`, the same precomputed-conflict idea Nagar &
+Jagannathan's violation detector uses:
+
+* recording a write of key ``k`` at version ``v`` *back-patches* the
+  transactions whose next-writer on ``k`` becomes ``v`` — the writer of the
+  version directly below ``v`` gains its WW edge, and every recorded reader
+  of a version in ``[below, v)`` gains its RW edge;
+* recording a read of ``(k, u)`` adds the RW edge to the current next
+  writer (if any — otherwise the future writer back-patches it) and the WR
+  edge from ``u``'s writer.
+
+``is_consistent`` is then a walk over prebuilt adjacency lists — no
+per-expansion derivation — and the per-check cost stays O(1) in the history
+size (§V-B2), with the same ``expansions`` accounting. Out-of-order version
+arrival (a lower version recorded after a higher one) is supported: the
+affected edges are re-pointed when the chain insertion lands mid-chain.
 
 Because conflict edges only ever point towards *later* versions, a read set
 that is consistent now can never become inconsistent as more update
@@ -34,7 +57,7 @@ transaction once, at completion time.
 
 from __future__ import annotations
 
-from bisect import bisect_right, insort
+from bisect import bisect_left, bisect_right, insort
 from typing import Iterable, Mapping
 
 from repro.errors import SimulationError
@@ -62,6 +85,14 @@ class SerializationGraphTester:
         #: Update transactions that *read* (key, version), for WR edges
         #: between update transactions.
         self._readers: dict[tuple[Key, Version], list[TxnId]] = {}
+        #: Per key: sorted distinct versions with at least one recorded
+        #: reader — the index the write-time RW back-patch walks.
+        self._read_versions: dict[Key, list[Version]] = {}
+        #: Outgoing conflict edges (WW/WR/RW) per update transaction,
+        #: maintained incrementally. Entries may repeat when two conflicts
+        #: share endpoints (one per conflicting key) — the BFS dedupes via
+        #: its visited set, exactly as the derive-on-the-fly version did.
+        self._adjacency: dict[TxnId, list[TxnId]] = {}
         self.update_count = 0
         self.checks = 0
         #: Total BFS node expansions, for overhead reporting.
@@ -72,22 +103,89 @@ class SerializationGraphTester:
     # ------------------------------------------------------------------
 
     def record_update(self, txn: CommittedTransaction) -> None:
-        """Add a committed update transaction to the history."""
-        if txn.txn_id in self._txns:
+        """Add a committed update transaction to the history.
+
+        Amortised cost is O(reads + writes) dictionary work per
+        transaction; the back-patches touch only the readers whose
+        next-writer actually changes.
+        """
+        version = txn.txn_id
+        if version in self._txns:
             where = f" in namespace {self.namespace!r}" if self.namespace else ""
             raise SimulationError(
-                f"update transaction {txn.txn_id} recorded twice{where}"
+                f"update transaction {version} recorded twice{where}"
             )
-        self._txns[txn.txn_id] = txn
+        self._txns[version] = txn
         self.update_count += 1
-        for key, version in txn.writes.items():
-            if version != txn.txn_id:
+        adjacency = self._adjacency
+        edges = adjacency.setdefault(version, [])
+
+        # Writes first, so the RW edges of this transaction's own reads see
+        # its installed versions (self-overwrites stay self-edge-free, as in
+        # the derived construction).
+        for key, written in txn.writes.items():
+            if written != version:
                 raise SimulationError(
-                    f"write version {version} differs from txn version {txn.txn_id}"
+                    f"write version {written} differs from txn version {version}"
                 )
-            insort(self._chains.setdefault(key, []), version)
-        for key, version in txn.reads.items():
-            self._readers.setdefault((key, version), []).append(txn.txn_id)
+            chain = self._chains.get(key)
+            if chain is None:
+                chain = self._chains[key] = []
+            if not chain or written > chain[-1]:
+                index = len(chain)
+                chain.append(written)
+            else:  # out-of-order arrival: splice into the middle
+                index = bisect_right(chain, written)
+                chain.insert(index, written)
+            below = chain[index - 1] if index else 0
+            above = chain[index + 1] if index + 1 < len(chain) else None
+
+            if above is not None:
+                # This version was (already) overwritten: WW edge out.
+                edges.append(above)
+            if below:
+                # The writer below used to point at `above` (or nowhere);
+                # its next writer is now this transaction.
+                below_edges = adjacency[below]
+                if above is not None:
+                    below_edges.remove(above)
+                below_edges.append(version)
+            # Readers of any version in [below, written) likewise re-point.
+            read_versions = self._read_versions.get(key)
+            if read_versions:
+                start = bisect_left(read_versions, below)
+                stop = bisect_left(read_versions, written)
+                for observed in read_versions[start:stop]:
+                    for reader in self._readers[(key, observed)]:
+                        reader_edges = adjacency[reader]
+                        if above is not None and above != reader:
+                            reader_edges.remove(above)
+                        reader_edges.append(version)
+            # WR edges towards readers that recorded this exact version
+            # before its writer arrived (out-of-order only).
+            for reader in self._readers.get((key, written), ()):
+                if reader != version:
+                    edges.append(reader)
+
+        for key, observed in txn.reads.items():
+            self._readers.setdefault((key, observed), []).append(version)
+            read_versions = self._read_versions.setdefault(key, [])
+            index = bisect_left(read_versions, observed)
+            if index == len(read_versions) or read_versions[index] != observed:
+                read_versions.insert(index, observed)
+            # RW: edge to the current next writer of the version read.
+            chain = self._chains.get(key)
+            if chain:
+                index = bisect_right(chain, observed)
+                if index < len(chain):
+                    overwriter = chain[index]
+                    if overwriter != version:
+                        edges.append(overwriter)
+            # WR: the writer of the version read gains an edge to this txn.
+            if observed and observed != version:
+                writer_txn = self._txns.get(observed)
+                if writer_txn is not None and key in writer_txn.writes:
+                    adjacency[observed].append(version)
 
     # ------------------------------------------------------------------
     # Queries
@@ -140,35 +238,69 @@ class SerializationGraphTester:
             return True
         bound = max(writers)
 
-        # BFS over the update-transaction conflict DAG, versions ascending.
+        # BFS over the prebuilt conflict adjacency, versions ascending.
         frontier = [txn for txn in starts if txn <= bound]
         visited: set[TxnId] = set(frontier)
-        while frontier:
-            node = frontier.pop()
-            if node in writers:
-                return False
-            self.expansions += 1
-            for successor in self._successors(node):
-                if successor <= bound and successor not in visited:
-                    visited.add(successor)
-                    frontier.append(successor)
-        return True
+        adjacency = self._adjacency
+        expansions = 0
+        try:
+            while frontier:
+                node = frontier.pop()
+                if node in writers:
+                    return False
+                expansions += 1
+                for successor in adjacency.get(node, ()):
+                    if successor <= bound and successor not in visited:
+                        visited.add(successor)
+                        frontier.append(successor)
+            return True
+        finally:
+            self.expansions += expansions
 
     def explain_inconsistency(
         self, reads: Mapping[Key, Version]
     ) -> tuple[Key, Key] | None:
         """A witness pair (stale key, fresh key) when ``reads`` is
         inconsistent, for diagnostics and tests; None when consistent.
+
+        One bounded BFS per distinct start (memoised across stale keys)
+        instead of one per (stale, fresh) pair: conflict edges ascend in
+        version, so a single reachable-set walk capped at the largest writer
+        version answers every fresh-key probe for that start. Keeps the
+        first-witness-in-read-order contract of the pairwise original.
         """
+        if not reads:
+            return None
+        writer_keys: list[tuple[TxnId, Key]] = []
+        bound = 0
+        for fresh_key, fresh_version in reads.items():
+            writer = self.writer_of(fresh_key, fresh_version)
+            if writer is not None:
+                writer_keys.append((writer, fresh_key))
+                if writer > bound:
+                    bound = writer
+        if not writer_keys:
+            return None
+
+        adjacency = self._adjacency
+        reachable_from: dict[TxnId, set[TxnId]] = {}
         for stale_key, stale_version in reads.items():
             start = self.next_writer(stale_key, stale_version)
             if start is None:
                 continue
-            for fresh_key, fresh_version in reads.items():
-                writer = self.writer_of(fresh_key, fresh_version)
-                if writer is None:
-                    continue
-                if self._reaches(start, writer):
+            reached = reachable_from.get(start)
+            if reached is None:
+                reached = {start}
+                frontier = [start] if start <= bound else []
+                while frontier:
+                    node = frontier.pop()
+                    for successor in adjacency.get(node, ()):
+                        if successor <= bound and successor not in reached:
+                            reached.add(successor)
+                            frontier.append(successor)
+                reachable_from[start] = reached
+            for writer, fresh_key in writer_keys:
+                if writer in reached:
                     return (stale_key, fresh_key)
         return None
 
@@ -177,30 +309,28 @@ class SerializationGraphTester:
     # ------------------------------------------------------------------
 
     def _successors(self, txn_id: TxnId) -> Iterable[TxnId]:
-        """Outgoing conflict edges of an update transaction."""
-        txn = self._txns.get(txn_id)
-        if txn is None:
-            return
-        for key, version in txn.writes.items():
-            overwriter = self.next_writer(key, version)
-            if overwriter is not None:
-                yield overwriter  # WW
-            for reader in self._readers.get((key, version), ()):
-                if reader != txn_id:
-                    yield reader  # WR
-        for key, version in txn.reads.items():
-            overwriter = self.next_writer(key, version)
-            if overwriter is not None and overwriter != txn_id:
-                yield overwriter  # RW
+        """Outgoing conflict edges of an update transaction.
+
+        The prebuilt adjacency list (possibly with benign duplicates); the
+        multiset union over keys of WW/WR/RW conflicts, exactly what the
+        old per-query derivation yielded.
+        """
+        return self._adjacency.get(txn_id, ())
 
     def _reaches(self, start: TxnId, target: TxnId) -> bool:
+        """Reachability in the conflict DAG, pruned at ``target``.
+
+        Every conflict edge ascends in version, so nodes above ``target``
+        can never lead back to it.
+        """
         if start == target:
             return True
-        frontier = [start]
+        frontier = [start] if start < target else []
         visited = {start}
+        adjacency = self._adjacency
         while frontier:
             node = frontier.pop()
-            for successor in self._successors(node):
+            for successor in adjacency.get(node, ()):
                 if successor == target:
                     return True
                 if successor < target and successor not in visited:

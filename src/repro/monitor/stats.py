@@ -46,7 +46,18 @@ class ClassCounts:
         return self.committed + self.aborted
 
     def add(self, label: str) -> None:
-        setattr(self, label, getattr(self, label) + 1)
+        # Dispatch on identity-comparable interned labels instead of
+        # reflective get/setattr: this runs twice per classified transaction.
+        if label == "consistent":
+            self.consistent += 1
+        elif label == "inconsistent":
+            self.inconsistent += 1
+        elif label == "aborted_necessary":
+            self.aborted_necessary += 1
+        elif label == "aborted_unnecessary":
+            self.aborted_unnecessary += 1
+        else:
+            setattr(self, label, getattr(self, label) + 1)
 
     @property
     def inconsistency_ratio(self) -> float:

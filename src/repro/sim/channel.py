@@ -134,10 +134,11 @@ class Channel:
         delay = self._latency(self._rng) if callable(self._latency) else self._latency
         if delay < 0:
             raise ConfigurationError(f"channel {self.name!r} sampled negative latency")
-        self._sim.schedule(delay, lambda: self._deliver(message, sequence, delay))
+        self._sim.schedule(delay, self._deliver, (message, sequence, delay))
         return True
 
-    def _deliver(self, message: Any, sequence: int, delay: float) -> None:
+    def _deliver(self, packed: tuple[Any, int, float]) -> None:
+        message, sequence, delay = packed
         self.stats.delivered += 1
         self.stats.total_latency += delay
         if sequence < self.stats._last_delivered_seq:

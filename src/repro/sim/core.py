@@ -1,8 +1,29 @@
 """Event loop and wait primitives for the simulation kernel.
 
-The design follows the classic event-list pattern: a heap of
-``(time, sequence, callback)`` entries and a monotonically advancing float
-clock. Components never sleep or block; they schedule callbacks or, more
+The design follows the classic event-list pattern — a heap of
+``(time, sequence, callback, arg)`` entries and a monotonically advancing
+float clock — with one refinement for the dominant case: zero-delay
+scheduling. Every event trigger, every callback added after a trigger, and
+every process start fires "now"; pushing those through the heap paid an
+``O(log n)`` push/pop plus a closure allocation per occurrence. They go
+through a FIFO *immediate queue* (a deque) instead, merged with the heap by
+the shared ``(time, sequence)`` order, so the executed event order — and
+therefore every seeded artifact — is identical to the pure-heap kernel's.
+
+``schedule`` also takes an optional single ``arg`` so hot callers
+(:class:`Event` triggers, :class:`Timeout`, :class:`Process` resumption, the
+channel delivery path) can pass a bound method plus its argument instead of
+allocating a closure per event.
+
+Implementation note: the trigger/timeout fast paths below intentionally
+duplicate :meth:`Simulator.schedule`'s zero-delay branch (an inline sequence
+bump plus a deque append) rather than calling it — these run once per event
+and the call overhead was a measurable slice of every figure experiment.
+Any change to the queueing discipline must be applied to ``schedule`` *and*
+the inlined sites; ``tests/unit/test_sim_core.py`` pins the shared
+``(time, sequence)`` ordering contract.
+
+Components never sleep or block; they schedule callbacks or, more
 conveniently, run as generator :class:`~repro.sim.process.Process` objects
 that yield the wait primitives defined here.
 """
@@ -10,12 +31,24 @@ that yield the wait primitives defined here.
 from __future__ import annotations
 
 import heapq
-import itertools
+from collections import deque
 from typing import Any, Callable
 
 from repro.errors import SimulationError
 
 __all__ = ["Simulator", "Event", "Timeout", "AnyOf", "AllOf"]
+
+
+class _NoArg:
+    """Sentinel: ``schedule`` without an argument calls ``callback()``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<no-arg>"
+
+
+_NO_ARG = _NoArg()
 
 
 class Event:
@@ -52,7 +85,22 @@ class Event:
         return self._value
 
     def succeed(self, value: Any = None) -> "Event":
-        self._trigger(ok=True, value=value)
+        # The hot path of the whole kernel (every timeout and process exit
+        # lands here): _trigger and the zero-delay schedule are inlined.
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._value = value
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            sim = self.sim
+            sequence = sim._sequence
+            immediate = sim._immediate
+            for callback in callbacks:
+                immediate.append((sequence, callback, self))
+                sequence += 1
+            sim._sequence = sequence
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -68,7 +116,10 @@ class Event:
         simulation time (not retroactively).
         """
         if self._triggered:
-            self.sim.schedule(0.0, lambda: callback(self))
+            sim = self.sim
+            sequence = sim._sequence
+            sim._sequence = sequence + 1
+            sim._immediate.append((sequence, callback, self))
         else:
             self._callbacks.append(callback)
 
@@ -78,9 +129,16 @@ class Event:
         self._triggered = True
         self._ok = ok
         self._value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            self.sim.schedule(0.0, lambda cb=callback: cb(self))
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            sim = self.sim
+            sequence = sim._sequence
+            immediate = sim._immediate
+            for callback in callbacks:
+                immediate.append((sequence, callback, self))
+                sequence += 1
+            sim._sequence = sequence
 
 
 class Timeout(Event):
@@ -91,9 +149,23 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
+        # Event.__init__ and schedule(delay, self.succeed, value), inlined:
+        # one Timeout is created per client arrival gap, per read gap and
+        # per 2PC phase delay.
+        self.sim = sim
+        self._callbacks = []
+        self._triggered = False
+        self._ok = True
+        self._value = None
         self.delay = delay
-        sim.schedule(delay, lambda: self.succeed(value))
+        sequence = sim._sequence
+        sim._sequence = sequence + 1
+        if delay == 0.0:
+            sim._immediate.append((sequence, self.succeed, value))
+        else:
+            heapq.heappush(
+                sim._queue, (sim.now + delay, sequence, self.succeed, value)
+            )
 
 
 class AnyOf(Event):
@@ -126,18 +198,23 @@ class AllOf(Event):
 
     The value is the list of child values in construction order. The first
     child failure fails the composite immediately.
+
+    ``AllOf`` takes ownership of ``events`` and does not copy it: direct
+    constructors must pass a fresh list they will not mutate afterwards.
+    The public :meth:`Simulator.all_of` wrapper copies on behalf of its
+    callers.
     """
 
     __slots__ = ("_children", "_remaining")
 
     def __init__(self, sim: "Simulator", events: list[Event]) -> None:
         super().__init__(sim)
-        self._children = list(events)
-        self._remaining = len(self._children)
+        self._children = events
+        self._remaining = len(events)
         if self._remaining == 0:
             self.succeed([])
             return
-        for event in self._children:
+        for event in events:
             event.add_callback(self._on_child)
 
     def _on_child(self, event: Event) -> None:
@@ -152,7 +229,18 @@ class AllOf(Event):
 
 
 class Simulator:
-    """Heap-based discrete-event scheduler with a float clock.
+    """Discrete-event scheduler: a heap plus an immediate FIFO, one clock.
+
+    Zero-delay work (the bulk of a run: event triggers, process wake-ups)
+    lands in the FIFO; timed work lands in the heap. Both draw sequence
+    numbers from one shared counter and the loop executes strictly in
+    ``(time, sequence)`` order, so the interleaving is exactly the one a
+    single heap would produce — ties broken by insertion order, runs
+    deterministic.
+
+    ``now`` is a plain (read-only by convention) attribute, not a property:
+    nearly every component reads the clock on every event, and descriptor
+    dispatch was measurable. Only the run loop may assign it.
 
     >>> sim = Simulator()
     >>> fired = []
@@ -163,24 +251,37 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._now = 0.0
-        self._queue: list[tuple[float, int, Callable[[], None]]] = []
-        self._sequence = itertools.count()
+        #: Current simulated time in seconds. Assigned only by the event loop.
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Callable[..., None], Any]] = []
+        self._immediate: deque[tuple[int, Callable[..., None], Any]] = deque()
+        self._sequence = 0
         self._running = False
+        #: Callbacks executed so far, for throughput (events/sec) reporting.
+        self.events_executed = 0
 
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
-
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` ``delay`` sim-seconds from now.
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        arg: Any = _NO_ARG,
+    ) -> None:
+        """Run ``callback`` (or ``callback(arg)``) ``delay`` sim-seconds from now.
 
         Ties are broken by insertion order, which keeps runs deterministic.
+        Passing ``arg`` lets hot paths hand over a bound method plus its
+        argument instead of allocating a closure per event.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + delay, next(self._sequence), callback))
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        if delay == 0.0:
+            self._immediate.append((sequence, callback, arg))
+        else:
+            heapq.heappush(
+                self._queue, (self.now + delay, sequence, callback, arg)
+            )
 
     def event(self) -> Event:
         return Event(self)
@@ -192,46 +293,99 @@ class Simulator:
         return AnyOf(self, events)
 
     def all_of(self, events: list[Event]) -> AllOf:
-        return AllOf(self, events)
+        # Copy at the public boundary: AllOf takes ownership of its list,
+        # and callers of this API may reuse theirs.
+        return AllOf(self, list(events))
 
     def process(self, generator) -> "Process":  # noqa: ANN001 - documented in process.py
         """Start a generator as a cooperative process (see ``sim.process``)."""
-        from repro.sim.process import Process
-
         return Process(self, generator)
 
     def run(self, until: float | None = None) -> None:
-        """Execute events in time order.
+        """Execute events in ``(time, sequence)`` order.
 
-        Without ``until`` the loop drains the queue. With ``until`` the loop
-        stops once the next event would fire strictly after ``until`` and the
-        clock is advanced to exactly ``until``.
+        Without ``until`` the loop drains both queues. With ``until`` the
+        loop stops once the next event would fire strictly after ``until``
+        and the clock is advanced to exactly ``until``.
         """
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
+        executed = 0
+        immediate = self._immediate
+        queue = self._queue
+        no_arg = _NO_ARG
         try:
-            while self._queue:
-                time, _, callback = self._queue[0]
-                if until is not None and time > until:
+            if until is not None and self.now > until:
+                # Nothing may fire: even immediates sit beyond the horizon.
+                return
+            while True:
+                if immediate:
+                    # A heap entry wins only on an exact time tie with an
+                    # older sequence number (heap times are never in the
+                    # past, so `<= now` means `== now`).
+                    if (
+                        queue
+                        and queue[0][0] <= self.now
+                        and queue[0][1] < immediate[0][0]
+                    ):
+                        entry = heapq.heappop(queue)
+                        self.now = entry[0]
+                        callback, arg = entry[2], entry[3]
+                    else:
+                        _, callback, arg = immediate.popleft()
+                elif queue:
+                    time = queue[0][0]
+                    if until is not None and time > until:
+                        break
+                    entry = heapq.heappop(queue)
+                    self.now = time
+                    callback, arg = entry[2], entry[3]
+                else:
                     break
-                heapq.heappop(self._queue)
-                self._now = time
-                callback()
-            if until is not None and self._now < until:
-                self._now = until
+                executed += 1
+                if arg is no_arg:
+                    callback()
+                else:
+                    callback(arg)
+            if until is not None and self.now < until:
+                self.now = until
         finally:
+            self.events_executed += executed
             self._running = False
 
     def step(self) -> bool:
-        """Execute a single event; returns False when the queue is empty."""
-        if not self._queue:
+        """Execute a single event; returns False when nothing is pending."""
+        immediate = self._immediate
+        queue = self._queue
+        if immediate:
+            if (
+                queue
+                and queue[0][0] <= self.now
+                and queue[0][1] < immediate[0][0]
+            ):
+                time, _, callback, arg = heapq.heappop(queue)
+                self.now = time
+            else:
+                _, callback, arg = immediate.popleft()
+        elif queue:
+            time, _, callback, arg = heapq.heappop(queue)
+            self.now = time
+        else:
             return False
-        time, _, callback = heapq.heappop(self._queue)
-        self._now = time
-        callback()
+        self.events_executed += 1
+        if arg is _NO_ARG:
+            callback()
+        else:
+            callback(arg)
         return True
 
     @property
     def pending_events(self) -> int:
-        return len(self._queue)
+        return len(self._queue) + len(self._immediate)
+
+
+# Imported last so that ``Simulator.process`` can reference the class without
+# a per-call import: process.py subclasses Event, so the import must run
+# after the definitions above regardless of which module loads first.
+from repro.sim.process import Process  # noqa: E402

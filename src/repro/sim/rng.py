@@ -80,11 +80,14 @@ class BoundedPareto:
         self.low = float(low)
         self.high = float(high)
         self._tail = 1.0 - (self.low / self.high) ** self.alpha
+        # Constants of the inverse CDF, hoisted out of the per-draw path
+        # (one draw per object of every transaction's access set).
+        self._exponent = -1.0 / self.alpha
+        self._low_offset = int(self.low)
 
     def sample(self, rng: np.random.Generator) -> float:
         """One draw in ``[low, high]``."""
-        u = rng.random()
-        return self.low * (1.0 - u * self._tail) ** (-1.0 / self.alpha)
+        return self.low * (1.0 - rng.random() * self._tail) ** self._exponent
 
     def sample_offset(self, rng: np.random.Generator) -> int:
         """One draw quantised to a zero-based integer offset.
@@ -93,7 +96,9 @@ class BoundedPareto:
         most probable draw (``x`` just above ``low=1``) is offset 0 — the
         head of the cluster.
         """
-        return int(self.sample(rng)) - int(self.low)
+        # sample(), inlined.
+        draw = self.low * (1.0 - rng.random() * self._tail) ** self._exponent
+        return int(draw) - self._low_offset
 
     def cdf(self, x: float) -> float:
         """Exact CDF, used by distribution tests."""

@@ -232,6 +232,59 @@ class TestGoldenEquivalence:
         }
 
 
+class TestKernelEventOrderGolden:
+    """The immediate-queue kernel reproduces the seed kernel's event order.
+
+    The simulator replaced pure-heap zero-delay scheduling with a FIFO
+    immediate queue merged by ``(time, sequence)``; these tests pin that the
+    executed order — and therefore every derived artifact — is unchanged.
+    """
+
+    #: SHA-256 of the reference column's full result under the seed repo's
+    #: pure-heap kernel (recorded before the immediate-queue change landed).
+    #: Every per-window rate, counter and detection feeds this digest, so
+    #: any event-order drift in the kernel fails here.
+    SEED_KERNEL_DIGEST = (
+        "feb4a8bb03f5df22a66590887c87074f6b9b0998d24b6d22d56afc14ae31efe7"
+    )
+
+    def test_reference_column_matches_seed_kernel_digest(self) -> None:
+        import hashlib
+
+        config = quick_config(strategy=Strategy.RETRY)
+        golden = legacy_run_column(config, WORKLOAD)
+        digest = hashlib.sha256(
+            json.dumps(golden, sort_keys=True).encode()
+        ).hexdigest()
+        assert digest == self.SEED_KERNEL_DIGEST
+
+    def test_chunked_run_matches_single_run(self) -> None:
+        """run(until=...) in several chunks crosses the immediate/heap
+        boundary repeatedly and must land on identical results."""
+        from repro.scenario.runner import build_scenario, collect_column_result
+
+        config = quick_config(strategy=Strategy.EVICT)
+        single = legacy_run_column(config, WORKLOAD)
+
+        scenario = build_scenario(ScenarioSpec.from_column(config, WORKLOAD))
+        for fraction in (0.25, 0.5, 0.75, 1.0):
+            scenario.sim.run(until=config.total_time * fraction)
+        edge = scenario.edges[0]
+        column = collect_column_result(
+            config,
+            scenario.monitor.series,
+            config.warmup,
+            cache=edge.cache,
+            db_stats=scenario.database.stats,
+            channel_stats=edge.channel.stats,
+            update_client=edge.update_client,
+            read_client=edge.read_client,
+        )
+        assert column.counts.as_dict() == single["counts"]
+        assert column.series == single["series"]
+        assert asdict(column.cache_stats) == single["cache_stats"]
+
+
 class TestScenarioSweepDeterminism:
     def sweep_spec(self) -> SweepSpec:
         return SweepSpec(

@@ -128,6 +128,131 @@ def history_and_reads(draw):
     return history, reads
 
 
+class DerivedSuccessorReference:
+    """The pre-adjacency tester: successors re-derived per query via bisect.
+
+    This is the implementation ``SerializationGraphTester`` replaced when it
+    went incremental (next-writer back-patching in ``record_update``); it is
+    kept here verbatim as the reference the property below pins the refactor
+    against — same verdicts, same edge sets, for arbitrary histories in
+    arbitrary recording order.
+    """
+
+    def __init__(self) -> None:
+        self._txns: dict[int, CommittedTransaction] = {}
+        self._chains: dict[str, list[int]] = {}
+        self._readers: dict[tuple[str, int], list[int]] = {}
+
+    def record_update(self, txn: CommittedTransaction) -> None:
+        from bisect import insort
+
+        self._txns[txn.txn_id] = txn
+        for key, version in txn.writes.items():
+            insort(self._chains.setdefault(key, []), version)
+        for key, version in txn.reads.items():
+            self._readers.setdefault((key, version), []).append(txn.txn_id)
+
+    def next_writer(self, key: str, version: int) -> int | None:
+        from bisect import bisect_right
+
+        chain = self._chains.get(key)
+        if not chain:
+            return None
+        index = bisect_right(chain, version)
+        return None if index == len(chain) else chain[index]
+
+    def successors(self, txn_id: int):
+        txn = self._txns.get(txn_id)
+        if txn is None:
+            return
+        for key, version in txn.writes.items():
+            overwriter = self.next_writer(key, version)
+            if overwriter is not None:
+                yield overwriter  # WW
+            for reader in self._readers.get((key, version), ()):
+                if reader != txn_id:
+                    yield reader  # WR
+        for key, version in txn.reads.items():
+            overwriter = self.next_writer(key, version)
+            if overwriter is not None and overwriter != txn_id:
+                yield overwriter  # RW
+
+    def is_consistent(self, reads: dict) -> bool:
+        if len(reads) <= 1:
+            return True
+        writers = {version for version in reads.values() if version != 0}
+        starts = set()
+        for key, version in reads.items():
+            overwriter = self.next_writer(key, version)
+            if overwriter is not None:
+                starts.add(overwriter)
+        if not writers or not starts:
+            return True
+        bound = max(writers)
+        frontier = [txn for txn in starts if txn <= bound]
+        visited = set(frontier)
+        while frontier:
+            node = frontier.pop()
+            if node in writers:
+                return False
+            for successor in self.successors(node):
+                if successor <= bound and successor not in visited:
+                    visited.add(successor)
+                    frontier.append(successor)
+        return True
+
+
+class TestIncrementalAdjacencyAgainstDerivedReference:
+    """The incremental (back-patched) adjacency equals the derived one."""
+
+    @given(history_and_reads(), st.randoms(use_true_random=False))
+    @settings(max_examples=300, deadline=None)
+    def test_verdicts_and_edges_match_in_any_recording_order(
+        self, case, rnd
+    ) -> None:
+        history, reads = case
+        order = list(history)
+        rnd.shuffle(order)  # out-of-order arrival exercises the back-patches
+
+        tester = SerializationGraphTester()
+        reference = DerivedSuccessorReference()
+        for txn in order:
+            tester.record_update(txn)
+            reference.record_update(txn)
+
+        for txn in history:
+            assert set(tester._successors(txn.txn_id)) == set(
+                reference.successors(txn.txn_id)
+            ), f"adjacency of txn {txn.txn_id} diverged"
+        assert tester.is_consistent(reads) == reference.is_consistent(reads)
+
+    @given(history_and_reads())
+    @settings(max_examples=150, deadline=None)
+    def test_explain_matches_pairwise_reachability(self, case) -> None:
+        """The memoised single-BFS explain returns the same first witness
+        the pairwise nested-loop original would."""
+        history, reads = case
+        tester = SerializationGraphTester()
+        for txn in history:
+            tester.record_update(txn)
+
+        expected = None
+        for stale_key, stale_version in reads.items():
+            start = tester.next_writer(stale_key, stale_version)
+            if start is None:
+                continue
+            for fresh_key, fresh_version in reads.items():
+                writer = tester.writer_of(fresh_key, fresh_version)
+                if writer is None:
+                    continue
+                if tester._reaches(start, writer):
+                    expected = (stale_key, fresh_key)
+                    break
+            if expected:
+                break
+        assert tester.explain_inconsistency(reads) == expected
+
+
 class TestAgainstOracle:
     @given(history_and_reads())
     @settings(max_examples=300, deadline=None)

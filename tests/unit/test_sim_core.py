@@ -87,6 +87,87 @@ class TestScheduling:
         assert len(failures) == 1
 
 
+class TestImmediateQueueOrdering:
+    """The immediate FIFO merges with the heap in (time, sequence) order.
+
+    These pin the contract that made the zero-delay fast path safe: the
+    executed order is exactly what a single heap keyed by
+    ``(time, sequence)`` would produce, so seeded artifacts are unchanged.
+    """
+
+    def test_zero_delay_yields_to_same_time_heap_entries(self, sim: Simulator) -> None:
+        """A delay-0 callback scheduled *during* an event at time t runs
+        after heap entries already queued at t (their sequence is older)."""
+        order = []
+
+        def first() -> None:
+            order.append("first")
+            sim.schedule(0.0, lambda: order.append("immediate"))
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second", "immediate"]
+
+    def test_zero_delay_precedes_strictly_later_heap_entries(
+        self, sim: Simulator
+    ) -> None:
+        order = []
+        sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: order.append("now")))
+        sim.schedule(2.0, lambda: order.append("later"))
+        sim.run()
+        assert order == ["now", "later"]
+
+    def test_immediates_run_fifo(self, sim: Simulator) -> None:
+        order = []
+        for tag in ("a", "b", "c"):
+            sim.schedule(0.0, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_pending_events_counts_both_queues(self, sim: Simulator) -> None:
+        sim.schedule(0.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        assert sim.pending_events == 2
+
+    def test_step_merges_queues_in_sequence_order(self, sim: Simulator) -> None:
+        order = []
+        sim.schedule(0.0, lambda: order.append("imm"))
+        sim.schedule(1.0, lambda: order.append("timed"))
+        assert sim.step() and order == ["imm"]
+        assert sim.step() and order == ["imm", "timed"]
+        assert sim.step() is False
+
+    def test_schedule_arg_avoids_closures(self, sim: Simulator) -> None:
+        seen = []
+        sim.schedule(0.0, seen.append, "zero")
+        sim.schedule(1.0, seen.append, "timed")
+        sim.run()
+        assert seen == ["zero", "timed"]
+
+    def test_events_executed_counter(self, sim: Simulator) -> None:
+        for _ in range(3):
+            sim.schedule(0.5, lambda: None)
+        sim.schedule(0.0, lambda: None)
+        sim.run()
+        assert sim.events_executed == 4
+
+    def test_run_until_before_now_leaves_immediates_queued(
+        self, sim: Simulator
+    ) -> None:
+        """An immediate queued at now=5 must not fire in run(until=3)."""
+        sim.run(until=5.0)
+        seen = []
+        event = sim.event()
+        event.succeed("late")
+        event.add_callback(lambda e: seen.append(e.value))
+        sim.run(until=3.0)
+        assert seen == []
+        assert sim.pending_events == 1
+        sim.run()
+        assert seen == ["late"]
+
+
 class TestEvent:
     def test_succeed_delivers_value_to_callbacks(self, sim: Simulator) -> None:
         event = sim.event()
