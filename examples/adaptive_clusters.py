@@ -14,7 +14,6 @@ from repro import (
     ColumnConfig,
     DriftingClusterWorkload,
     PerfectClusterWorkload,
-    PhaseSwitchWorkload,
     Strategy,
     UniformWorkload,
     run_column,

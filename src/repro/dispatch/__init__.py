@@ -20,6 +20,16 @@ grid across hosts with nothing but the stdlib:
   through the sweep engine's own point executor, stream results.
 * :mod:`repro.dispatch.faults` — :class:`FaultPlan` failure drills
   (crash / stall / disconnect) for rehearsing worker loss.
+* :mod:`repro.dispatch.daemon` — :class:`FleetDaemon`: a long-lived queue
+  *service* over the same frames.  Many named sweeps with priorities, an
+  append-only JSONL journal (:mod:`repro.dispatch.journal`) that makes
+  restarts resume instead of recompute, shared-secret HMAC authentication
+  (:mod:`repro.dispatch.auth`), and per-worker throughput tracking
+  (:mod:`repro.dispatch.health`) feeding adaptive chunk sizing.
+* :mod:`repro.dispatch.client` — :class:`FleetSpec` / :class:`FleetClient`:
+  submit/status/cancel/fetch against a daemon, and
+  :func:`run_fleet_sweep` — the ``run_sweep(spec, dispatch=FleetSpec(...))``
+  backend that submits instead of self-coordinating.
 
 Determinism contract: points travel as their portable JSON encodings
 (:meth:`SweepPoint.as_dict`), results come back keyed by point index, and
@@ -30,28 +40,56 @@ Sweeps containing non-portable workloads (graph- or trace-backed) are
 rejected at coordinator construction, before any worker connects.
 """
 
+from repro.dispatch.auth import SECRET_ENV_VAR, compute_mac, secret_from_env
+from repro.dispatch.client import FleetClient, FleetSpec, run_fleet_sweep
 from repro.dispatch.coordinator import (
     Coordinator,
     DispatchSpec,
     parse_hostport,
     run_dispatched,
 )
+from repro.dispatch.daemon import FleetConfig, FleetDaemon, run_daemon
 from repro.dispatch.faults import FaultPlan
+from repro.dispatch.fleet import FleetQueue
+from repro.dispatch.health import HealthTracker, WorkerHealth
+from repro.dispatch.journal import SweepJournal, sweep_fingerprint
 from repro.dispatch.queue import Chunk, WorkQueue
 from repro.dispatch.worker import WorkerStats, run_worker
-from repro.errors import CoordinatorUnreachable, DispatchError, ProtocolError
+from repro.errors import (
+    AuthenticationError,
+    CoordinatorUnreachable,
+    DispatchError,
+    JournalError,
+    ProtocolError,
+)
 
 __all__ = [
+    "AuthenticationError",
     "Chunk",
     "Coordinator",
     "CoordinatorUnreachable",
     "DispatchError",
     "DispatchSpec",
     "FaultPlan",
+    "FleetClient",
+    "FleetConfig",
+    "FleetDaemon",
+    "FleetQueue",
+    "FleetSpec",
+    "HealthTracker",
+    "JournalError",
     "ProtocolError",
+    "SECRET_ENV_VAR",
+    "SweepJournal",
     "WorkQueue",
+    "WorkerHealth",
     "WorkerStats",
+    "compute_mac",
     "parse_hostport",
+    "run_daemon",
     "run_dispatched",
+    "run_fleet_sweep",
     "run_worker",
+    "secret_from_env",
+    "sweep_fingerprint",
 ]

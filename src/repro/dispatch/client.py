@@ -1,0 +1,331 @@
+"""Submitter-side client for the fleet daemon.
+
+Everything a process needs to *use* a :class:`~repro.dispatch.daemon.FleetDaemon`
+without being a worker: submit named sweeps with priorities, poll status,
+cancel, and fetch finished results.  The crown piece is
+:func:`run_fleet_sweep` — the ``run_sweep(spec, dispatch=FleetSpec(...))``
+execution backend: it submits the sweep (named by content fingerprint, so
+re-running the same experiment resumes rather than recomputes), waits for
+the daemon to drain it, fetches the wire results and decodes them against
+its *own* spec objects (:mod:`repro.dispatch.codec`), so a fleet-served
+:class:`SweepResult` is byte-identical to a ``jobs=1`` run — the same
+contract the one-shot coordinator honours.
+
+Every operation opens a fresh authenticated connection.  That costs a
+handshake per call but buys the property the failure drills rely on: a
+daemon restart between two polls is invisible — the next call simply
+dials the new process, which has already restored the sweep from its
+journal.  :meth:`FleetClient.wait_for` leans into this by retrying
+connection failures until its deadline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.dispatch.auth import compute_mac, secret_from_env
+from repro.dispatch.journal import sweep_fingerprint
+from repro.dispatch.protocol import PROTOCOL_VERSION, recv_frame, send_frame
+from repro.dispatch.worker import _connect
+from repro.errors import (
+    AuthenticationError,
+    ConfigurationError,
+    DispatchError,
+    ProtocolError,
+)
+from repro.experiments.sweep import (
+    SweepResult,
+    SweepSpec,
+    ordered_results,
+    spec_artifact,
+)
+
+__all__ = ["FleetClient", "FleetSpec", "run_fleet_sweep"]
+
+
+@dataclass(slots=True)
+class FleetSpec:
+    """How to hand a sweep to a fleet daemon instead of self-coordinating.
+
+    The ``dispatch=`` twin of :class:`~repro.dispatch.coordinator.DispatchSpec`:
+    passing one to :func:`~repro.experiments.sweep.run_sweep` (or
+    ``--fleet HOST:PORT`` on the CLI) submits the sweep to a daemon and
+    waits, instead of binding a coordinator port of its own.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Higher priorities drain first; ties serve in submission order.
+    priority: int = 0
+    #: Shared secret; ``None`` falls back to ``REPRO_FLEET_SECRET``.
+    secret: str | None = None
+    #: Override the content-derived sweep name (rarely needed).
+    name: str | None = None
+    #: Seconds between status polls while waiting.
+    poll_interval: float = 0.5
+    #: How long to keep retrying an unreachable daemon per operation.
+    connect_timeout: float = 30.0
+    #: Overall deadline for :func:`run_fleet_sweep`; ``None`` waits forever
+    #: (the daemon may legitimately be restarting mid-sweep).
+    wait_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ConfigurationError("fleet host must be non-empty")
+        if not 0 < self.port <= 65535:
+            raise ConfigurationError(
+                f"fleet port must be in [1, 65535], got {self.port}"
+            )
+        if self.poll_interval <= 0:
+            raise ConfigurationError(
+                f"poll_interval must be positive, got {self.poll_interval}"
+            )
+        if self.connect_timeout <= 0:
+            raise ConfigurationError(
+                f"connect_timeout must be positive, got {self.connect_timeout}"
+            )
+        if self.secret is None:
+            self.secret = secret_from_env()
+
+    @classmethod
+    def parse(cls, text: str, **overrides) -> "FleetSpec":
+        """A spec from the CLI's ``--fleet HOST:PORT`` argument."""
+        from repro.dispatch.coordinator import parse_hostport
+
+        host, port = parse_hostport(text)
+        return cls(host=host, port=port, **overrides)
+
+
+class FleetClient:
+    """One submitter's view of a daemon; every call is its own connection."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        secret: str | None = None,
+        client_name: str = "submitter",
+        connect_timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.secret = secret
+        self.client_name = client_name
+        self.connect_timeout = connect_timeout
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        spec: SweepSpec | Mapping[str, object],
+        *,
+        name: str | None = None,
+        priority: int = 0,
+    ) -> dict:
+        """Submit a sweep (a :class:`SweepSpec` or its artifact payload)."""
+        payload = (
+            spec_artifact(spec) if isinstance(spec, SweepSpec) else dict(spec)
+        )
+        frame = {"type": "submit", "priority": priority, "spec": payload}
+        if name is not None:
+            frame["sweep"] = name
+        return self._roundtrip(frame, expect="submitted")
+
+    def status(self, name: str | None = None) -> dict:
+        frame: dict = {"type": "status"}
+        if name is not None:
+            frame["sweep"] = name
+        return self._roundtrip(frame, expect="status_report")
+
+    def cancel(self, name: str) -> dict:
+        return self._roundtrip(
+            {"type": "cancel", "sweep": name}, expect="cancelled"
+        )
+
+    def fetch(self, name: str) -> dict:
+        """``results`` once done, ``pending`` with progress before that."""
+        return self._roundtrip(
+            {"type": "fetch", "sweep": name}, expect=("results", "pending")
+        )
+
+    def wait_for(
+        self,
+        name: str,
+        *,
+        poll_interval: float = 0.5,
+        timeout: float | None = None,
+    ) -> dict:
+        """Poll until ``name`` is done; returns the ``results`` reply.
+
+        Connection failures are retried until ``timeout`` — a daemon
+        bouncing through a restart mid-wait is expected, not fatal.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                reply = self.fetch(name)
+                if reply["type"] == "results":
+                    return reply
+            except (DispatchError, OSError) as exc:
+                if isinstance(exc, AuthenticationError):
+                    raise  # a wrong secret will not get righter by waiting
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise
+            if deadline is not None and time.monotonic() >= deadline:
+                raise DispatchError(
+                    f"sweep {name!r} did not finish within {timeout:g}s"
+                )
+            time.sleep(poll_interval)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _roundtrip(
+        self, frame: dict, *, expect: str | tuple[str, ...]
+    ) -> dict:
+        expected = (expect,) if isinstance(expect, str) else expect
+        sock = _connect(
+            self.host, self.port, self.connect_timeout, retry_delay=0.2
+        )
+        try:
+            self._handshake(sock)
+            send_frame(sock, frame)
+            reply = recv_frame(sock)
+            if reply is None:
+                raise ProtocolError("daemon closed the connection mid-call")
+            if reply.get("type") == "error":
+                raise ProtocolError(f"daemon refused: {reply.get('message')}")
+            if reply.get("type") not in expected:
+                raise ProtocolError(
+                    f"expected {' or '.join(expected)}, got {reply.get('type')!r}"
+                )
+            try:
+                send_frame(sock, {"type": "goodbye"})
+                recv_frame(sock)
+            except (ProtocolError, OSError):
+                pass  # best-effort clean close; the reply is already in hand
+            return reply
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _handshake(self, sock) -> None:
+        send_frame(
+            sock,
+            {
+                "type": "hello",
+                "role": "submitter",
+                "worker": self.client_name,
+                "protocol": PROTOCOL_VERSION,
+            },
+        )
+        reply = recv_frame(sock)
+        if reply is None:
+            raise ProtocolError("daemon closed the connection at hello")
+        if reply.get("type") == "challenge":
+            if not self.secret:
+                raise AuthenticationError(
+                    "daemon demands authentication but no fleet secret is "
+                    "configured (set REPRO_FLEET_SECRET)"
+                )
+            send_frame(
+                sock,
+                {
+                    "type": "auth",
+                    "mac": compute_mac(
+                        self.secret,
+                        str(reply.get("nonce")),
+                        "submitter",
+                        self.client_name,
+                    ),
+                },
+            )
+            reply = recv_frame(sock)
+            if reply is None:
+                raise AuthenticationError("daemon hung up after auth")
+        if reply.get("type") == "error":
+            message = str(reply.get("message"))
+            if "secret" in message or "auth" in message.lower():
+                raise AuthenticationError(f"daemon refused: {message}")
+            raise ProtocolError(f"daemon refused: {message}")
+        if reply.get("type") != "welcome":
+            raise ProtocolError(
+                f"expected welcome, got {reply.get('type')!r}"
+            )
+
+
+def fleet_sweep_name(spec: SweepSpec) -> str:
+    """The content-derived name :func:`run_fleet_sweep` submits under.
+
+    Built from the spec's name plus a fingerprint prefix, so submitting
+    the same grid twice resumes it while two different grids that happen
+    to share a human name never collide in the daemon or its journal.
+    """
+    digest = sweep_fingerprint(spec).split(":", 1)[1]
+    return f"{spec.name}-{digest[:12]}"
+
+
+def run_fleet_sweep(spec: SweepSpec, fleet: FleetSpec) -> SweepResult:
+    """Serve ``spec`` through a fleet daemon; byte-identical to ``jobs=1``.
+
+    The ``run_sweep(spec, dispatch=FleetSpec(...))`` execution backend:
+    submit (named by content, so identical re-runs resume from the
+    daemon's journal), wait, fetch, decode against our own spec objects,
+    reassemble in spec order through the shared
+    :func:`~repro.experiments.sweep.ordered_results`.
+    """
+    from repro.dispatch.codec import decode_result
+
+    start = time.perf_counter()
+    client = FleetClient(
+        fleet.host,
+        fleet.port,
+        secret=fleet.secret,
+        connect_timeout=fleet.connect_timeout,
+    )
+    name = fleet.name or fleet_sweep_name(spec)
+    submitted = client.submit(spec, name=name, priority=fleet.priority)
+    if submitted.get("total") != len(spec.points):
+        raise ProtocolError(
+            f"daemon acknowledged {submitted.get('total')!r} points for "
+            f"sweep {name!r}, expected {len(spec.points)}"
+        )
+    if len(spec.points) == 0:
+        return SweepResult(
+            spec=spec, results=[], jobs=1, wall_clock_seconds=0.0
+        )
+    reply = client.wait_for(
+        name, poll_interval=fleet.poll_interval, timeout=fleet.wait_timeout
+    )
+    results_by_index: dict[int, object] = {}
+    for index, payload in reply.get("results", ()):
+        if not isinstance(index, int) or not 0 <= index < len(spec.points):
+            raise ProtocolError(
+                f"fleet results carry index {index!r} outside the sweep"
+            )
+        results_by_index[index] = decode_result(payload, spec.points[index])
+    results = ordered_results(len(spec.points), results_by_index)
+    status = client.status(name)
+    workers = [
+        row
+        for row in status.get("workers", ())
+        if row.get("points_completed", 0) > 0
+    ]
+    elapsed = time.perf_counter() - start
+    return SweepResult(
+        spec=spec,
+        results=results,
+        # Workers that completed points for *any* sweep this daemon
+        # lifetime; resumed runs may show 0 live workers — report 1 then,
+        # mirroring the coordinator's max(1, workers) convention.
+        jobs=max(1, len(workers)),
+        wall_clock_seconds=elapsed,
+    )

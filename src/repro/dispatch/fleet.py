@@ -1,0 +1,423 @@
+"""Multi-sweep, priority-ordered work state behind the fleet daemon.
+
+Where the one-shot :class:`~repro.dispatch.queue.WorkQueue` serves exactly
+one sweep and dies with its coordinator, a :class:`FleetQueue` holds *many*
+named sweeps at once and outlives all of them.  It keeps the queue layer's
+hard-won failure semantics — per-point completion, lease deadlines
+extended by heartbeats and results, connection-loss and lease-expiry both
+re-queueing only unfinished indices at the front, first-writer-wins
+results — and adds what a service needs on top:
+
+* **Named entries with priorities**: ``acquire`` always drains the
+  highest-priority sweep with pending work first (FIFO among equals), so
+  an urgent grid submitted mid-run overtakes a bulk backfill without
+  cancelling it.
+* **Dynamic chunk sizing**: the caller passes how many points the asking
+  worker should get (the daemon feeds this from
+  :class:`~repro.dispatch.health.HealthTracker`), instead of a chunk size
+  frozen at construction.
+* **Resume**: entries can be seeded with journaled results, and
+  resubmitting a sweep whose fingerprint matches an existing entry
+  attaches to it — reviving it if it was cancelled — rather than
+  recomputing.
+* **Cancellation**: pending work is dropped, live leases are torn up, and
+  late results for a cancelled sweep are ignored.
+
+Results are stored as their *wire payloads* (the ``encode_result`` dicts):
+the daemon never rebuilds live result objects — decoding against local
+spec objects is the submitting client's job, which is exactly what keeps
+fleet-served artifacts byte-identical to ``jobs=1`` runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from repro.errors import ConfigurationError, DispatchError
+from repro.experiments.sweep import SweepSpec
+
+__all__ = ["FleetEntry", "FleetLease", "FleetQueue"]
+
+#: Entry lifecycle: accepting/serving work → every point journaled →
+#: explicitly cancelled.  There is no separate "queued" state — a sweep
+#: with no worker yet is simply running with zero progress.
+RUNNING = "running"
+DONE = "done"
+CANCELLED = "cancelled"
+
+
+@dataclass(slots=True)
+class FleetLease:
+    """A batch of one sweep's point indices leased to one worker."""
+
+    lease_id: int
+    sweep: str
+    indices: tuple[int, ...]
+    owner: str
+    deadline: float
+
+
+@dataclass(slots=True)
+class FleetEntry:
+    """One named sweep's full state inside the daemon."""
+
+    name: str
+    priority: int
+    submitted_ord: int
+    spec: SweepSpec
+    fingerprint: str
+    #: Portable JSON payloads, one per point, in spec order.
+    point_payloads: list[dict]
+    #: Wire result payloads keyed by point index (journaled + live).
+    results: dict[int, dict] = field(default_factory=dict)
+    #: Indices seeded from a journal rather than executed this lifetime.
+    resumed: frozenset[int] = frozenset()
+    #: Results accepted over the wire by *this* daemon process — the
+    #: counter the no-re-execution drills assert on.
+    executed: int = 0
+    duplicates: int = 0
+    cancelled: bool = False
+    pending: deque[int] = field(default_factory=deque)
+
+    @property
+    def total(self) -> int:
+        return len(self.point_payloads)
+
+    @property
+    def completed(self) -> int:
+        return len(self.results)
+
+    @property
+    def state(self) -> str:
+        if self.cancelled:
+            return CANCELLED
+        if self.completed == self.total:
+            return DONE
+        return RUNNING
+
+    def status_row(self, leased: int) -> dict[str, object]:
+        """A JSON-safe row for ``status`` reports."""
+        return {
+            "sweep": self.name,
+            "state": self.state,
+            "priority": self.priority,
+            "total": self.total,
+            "completed": self.completed,
+            "pending": len(self.pending),
+            "leased": leased,
+            "resumed": len(self.resumed),
+            "executed": self.executed,
+            "duplicates": self.duplicates,
+            "fingerprint": self.fingerprint,
+        }
+
+
+class FleetQueue:
+    """Thread-safe state for every sweep a daemon is serving.
+
+    One lock guards all entries — submissions, leases and results are tiny
+    bookkeeping operations next to the simulations they schedule, so a
+    single lock keeps the invariants easy to believe.  ``clock`` is
+    injectable for tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        lease_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if lease_timeout <= 0:
+            raise ConfigurationError(
+                f"lease_timeout must be positive, got {lease_timeout}"
+            )
+        self.lease_timeout = lease_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: dict[str, FleetEntry] = {}
+        self._leases: dict[int, FleetLease] = {}
+        self._next_lease_id = 0
+        self._next_submit_ord = 0
+
+    # ------------------------------------------------------------------
+    # Submissions
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        name: str,
+        spec: SweepSpec,
+        point_payloads: list[dict],
+        fingerprint: str,
+        *,
+        priority: int = 0,
+        resumed_results: Mapping[int, dict] | None = None,
+    ) -> tuple[FleetEntry, bool]:
+        """Register a sweep; returns ``(entry, created)``.
+
+        A resubmission whose fingerprint matches the existing entry
+        *attaches*: the caller gets the live entry (revived if it was
+        cancelled) and ``created=False``.  A name collision with a
+        different fingerprint is refused loudly — two different grids must
+        never share journaled state.
+        """
+        if not name:
+            raise ConfigurationError("sweep name must be non-empty")
+        with self._lock:
+            existing = self._entries.get(name)
+            if existing is not None:
+                if existing.fingerprint != fingerprint:
+                    raise DispatchError(
+                        f"sweep {name!r} already exists with fingerprint "
+                        f"{existing.fingerprint}, submission has "
+                        f"{fingerprint} — pick a new name or submit the "
+                        "identical spec to resume it"
+                    )
+                if existing.cancelled:
+                    existing.cancelled = False
+                    self._requeue_missing(existing)
+                return existing, False
+            entry = FleetEntry(
+                name=name,
+                priority=priority,
+                submitted_ord=self._next_submit_ord,
+                spec=spec,
+                fingerprint=fingerprint,
+                point_payloads=point_payloads,
+                results={
+                    index: dict(result)
+                    for index, result in (resumed_results or {}).items()
+                },
+            )
+            self._next_submit_ord += 1
+            entry.resumed = frozenset(entry.results)
+            bad = [i for i in entry.results if not 0 <= i < entry.total]
+            if bad:
+                raise DispatchError(
+                    f"sweep {name!r}: resumed result indices {sorted(bad)} "
+                    f"outside sweep of {entry.total} points"
+                )
+            self._requeue_missing(entry)
+            self._entries[name] = entry
+            return entry, True
+
+    def cancel(self, name: str) -> bool:
+        """Stop serving ``name``; ``False`` if no such sweep."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                return False
+            entry.cancelled = True
+            entry.pending.clear()
+            for lease_id in [
+                lease_id
+                for lease_id, lease in self._leases.items()
+                if lease.sweep == name
+            ]:
+                del self._leases[lease_id]
+            return True
+
+    # ------------------------------------------------------------------
+    # Worker-facing operations
+    # ------------------------------------------------------------------
+
+    def acquire(self, owner: str, max_points: int) -> FleetLease | None:
+        """Lease up to ``max_points`` indices of the most urgent sweep.
+
+        Urgency: highest ``priority`` first, then earliest submission.
+        Expired leases are reaped first so a dead worker's points are
+        re-acquirable the moment anyone asks.  ``None`` when nothing is
+        pending anywhere — the daemon replies ``wait``, never ``done``,
+        because new sweeps may arrive at any time.
+        """
+        if max_points < 1:
+            raise ConfigurationError(
+                f"max_points must be >= 1, got {max_points}"
+            )
+        with self._lock:
+            self._expire_stale_leases()
+            for entry in self._serving_order():
+                indices: list[int] = []
+                while entry.pending and len(indices) < max_points:
+                    index = entry.pending.popleft()
+                    if index not in entry.results:
+                        indices.append(index)
+                if not indices:
+                    continue
+                lease = FleetLease(
+                    lease_id=self._next_lease_id,
+                    sweep=entry.name,
+                    indices=tuple(indices),
+                    owner=owner,
+                    deadline=self._clock() + self.lease_timeout,
+                )
+                self._next_lease_id += 1
+                self._leases[lease.lease_id] = lease
+                return lease
+            return None
+
+    def complete(
+        self, sweep: str, index: int, result: Mapping[str, object], owner: str
+    ) -> bool:
+        """Record one point's wire result; ``False`` if dropped.
+
+        Drops (without error) duplicates and results for cancelled sweeps;
+        raises for sweeps the daemon has never heard of or indices outside
+        the grid — those are protocol violations, not races.
+        """
+        with self._lock:
+            entry = self._entries.get(sweep)
+            if entry is None:
+                raise DispatchError(f"result for unknown sweep {sweep!r}")
+            if not 0 <= index < entry.total:
+                raise DispatchError(
+                    f"sweep {sweep!r}: result index {index} outside "
+                    f"{entry.total} points"
+                )
+            deadline = self._clock() + self.lease_timeout
+            for lease in self._leases.values():
+                if lease.owner == owner:
+                    lease.deadline = deadline
+            if entry.cancelled:
+                return False
+            if index in entry.results:
+                entry.duplicates += 1
+                return False
+            entry.results[index] = dict(result)
+            entry.executed += 1
+            self._reap_finished_leases()
+            return True
+
+    def heartbeat(self, owner: str) -> int:
+        """Extend every lease held by ``owner``; returns how many."""
+        with self._lock:
+            deadline = self._clock() + self.lease_timeout
+            extended = 0
+            for lease in self._leases.values():
+                if lease.owner == owner:
+                    lease.deadline = deadline
+                    extended += 1
+            return extended
+
+    def release(self, owner: str) -> int:
+        """Re-queue the unfinished work of every lease held by ``owner``."""
+        with self._lock:
+            return self._release_leases(
+                [
+                    lease_id
+                    for lease_id, lease in self._leases.items()
+                    if lease.owner == owner
+                ]
+            )
+
+    def expire_stale_leases(self) -> int:
+        with self._lock:
+            return self._expire_stale_leases()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def entry(self, name: str) -> FleetEntry | None:
+        with self._lock:
+            return self._entries.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def results_for(self, name: str) -> dict[int, dict] | None:
+        """Snapshot of a sweep's wire results; ``None`` for unknown names."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                return None
+            return {index: dict(result) for index, result in entry.results.items()}
+
+    def status_rows(self) -> list[dict[str, object]]:
+        """One JSON-safe row per sweep, in submission order."""
+        with self._lock:
+            leased_by_sweep: dict[str, int] = {}
+            for lease in self._leases.values():
+                leased_by_sweep[lease.sweep] = (
+                    leased_by_sweep.get(lease.sweep, 0) + len(lease.indices)
+                )
+            return [
+                entry.status_row(leased_by_sweep.get(entry.name, 0))
+                for entry in sorted(
+                    self._entries.values(), key=lambda e: e.submitted_ord
+                )
+            ]
+
+    # ------------------------------------------------------------------
+    # Internals (call with the lock held)
+    # ------------------------------------------------------------------
+
+    def _serving_order(self) -> Iterable[FleetEntry]:
+        return sorted(
+            (
+                entry
+                for entry in self._entries.values()
+                if not entry.cancelled and entry.pending
+            ),
+            key=lambda entry: (-entry.priority, entry.submitted_ord),
+        )
+
+    def _requeue_missing(self, entry: FleetEntry) -> None:
+        queued = set(entry.pending)
+        leased = {
+            index
+            for lease in self._leases.values()
+            if lease.sweep == entry.name
+            for index in lease.indices
+        }
+        entry.pending.extend(
+            index
+            for index in range(entry.total)
+            if index not in entry.results
+            and index not in queued
+            and index not in leased
+        )
+
+    def _expire_stale_leases(self) -> int:
+        now = self._clock()
+        return self._release_leases(
+            [
+                lease_id
+                for lease_id, lease in self._leases.items()
+                if lease.deadline <= now
+            ]
+        )
+
+    def _release_leases(self, lease_ids: list[int]) -> int:
+        requeued = 0
+        for lease_id in lease_ids:
+            lease = self._leases.pop(lease_id)
+            entry = self._entries.get(lease.sweep)
+            if entry is None or entry.cancelled:
+                continue
+            remaining = [
+                index for index in lease.indices if index not in entry.results
+            ]
+            if remaining:
+                # Front of the queue: orphaned work jumps ahead so the
+                # sweep's tail is not parked behind fresh indices.
+                entry.pending.extendleft(reversed(remaining))
+                requeued += 1
+        return requeued
+
+    def _reap_finished_leases(self) -> None:
+        finished = [
+            lease_id
+            for lease_id, lease in self._leases.items()
+            if all(
+                index in self._entries[lease.sweep].results
+                for index in lease.indices
+            )
+        ]
+        for lease_id in finished:
+            del self._leases[lease_id]

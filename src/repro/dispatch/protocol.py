@@ -7,31 +7,61 @@ pickling (frames are inspectable on the wire and survive version skew
 loudly instead of silently), bounded frame sizes so a corrupt or hostile
 length prefix cannot make a peer allocate gigabytes.
 
-The conversation is strictly request/reply from the worker's point of view:
-the worker sends one frame (``hello``, ``request``, ``result``,
-``heartbeat``, ``goodbye``) and reads exactly one reply (``welcome``,
-``chunk``/``wait``/``done``, ``ok``, ``error``).  That keeps both ends free
-of interleaving concerns; the worker's background heartbeat thread shares
-the socket under a lock (see :mod:`repro.dispatch.worker`).
+The conversation is strictly request/reply from the peer's point of view:
+the peer sends one frame (``hello``, ``request``, ``result``,
+``heartbeat``, ``goodbye``, …) and reads exactly one reply (``welcome``,
+``chunk``/``wait``/``done``, ``ok``, ``error``, …).  That keeps both ends
+free of interleaving concerns; the worker's background heartbeat thread
+shares the socket under a lock (see :mod:`repro.dispatch.worker`).
 
-Message types
--------------
+Message types (protocol version 2)
+----------------------------------
 
-========== ============ ====================================================
-type       direction    payload
-========== ============ ====================================================
-hello      worker → co  ``worker`` (name), ``protocol`` (version)
-welcome    co → worker  ``spec`` (sweep name), ``total_points``
-request    worker → co  —
-chunk      co → worker  ``chunk_id``, ``points``: [{``index``, ``point``}]
-wait       co → worker  ``delay`` (seconds; queue drained but run not done)
-done       co → worker  — (every point has a result; worker should exit)
-result     worker → co  ``index``, ``result`` (encoded, see codec)
-heartbeat  worker → co  — (extends the worker's chunk leases)
-goodbye    worker → co  — (clean disconnect)
-ok         co → worker  ``accepted`` (for results: False on duplicates)
-error      co → worker  ``message`` (protocol violation; connection closes)
-========== ============ ====================================================
+Version 1 was the one-shot coordinator/worker exchange; version 2 keeps
+those frames bit-compatible and adds — gated by the same ``hello``
+version check — the fleet daemon's handshake and submitter verbs
+(:mod:`repro.dispatch.daemon`).  ``srv`` below is either a one-shot
+coordinator or the fleet daemon; submitter frames are daemon-only.
+
+=============== ============ ===============================================
+type            direction    payload
+=============== ============ ===============================================
+hello           peer → srv   ``worker`` (name), ``protocol`` (version),
+                             optional ``role`` (``worker``/``submitter``,
+                             daemon only)
+challenge       srv → peer   ``nonce`` (daemon with a secret configured;
+                             see :mod:`repro.dispatch.auth`)
+auth            peer → srv   ``mac`` (HMAC-SHA256 over the nonce)
+welcome         srv → peer   coordinator: ``spec``, ``total_points``;
+                             daemon: ``service`` = ``"fleet"``
+request         worker → srv —
+chunk           srv → worker ``chunk_id``, ``points``: [{``index``,
+                             ``point``}], daemon adds ``sweep``
+wait            srv → worker ``delay`` (seconds; nothing to lease right now)
+done            srv → worker coordinator only: sweep complete, worker may
+                             exit (the daemon never says done — new sweeps
+                             may arrive at any time)
+result          worker → srv ``index``, ``result`` (encoded, see codec),
+                             daemon requires ``sweep``
+heartbeat       worker → srv — (extends the worker's chunk leases)
+goodbye         peer → srv   — (clean disconnect)
+ok              srv → worker ``accepted`` (for results: False on duplicates)
+error           srv → peer   ``message`` (violation; connection closes)
+submit          sub → daemon ``sweep`` (name), ``priority``, ``spec``
+                             (a ``spec_artifact`` payload)
+submitted       daemon → sub ``sweep``, ``created``, ``state``, ``total``,
+                             ``completed``, ``resumed``
+status          sub → daemon optional ``sweep`` filter
+status_report   daemon → sub ``sweeps``: rows, ``workers``: rows,
+                             ``daemon``: info
+cancel          sub → daemon ``sweep``
+cancelled       daemon → sub ``sweep``, ``existed``
+fetch           sub → daemon ``sweep``
+results         daemon → sub ``sweep``, ``total``, ``results``:
+                             [[index, payload], …] (only once done)
+pending         daemon → sub ``sweep``, ``state``, ``completed``, ``total``
+                             (fetch before the sweep finished)
+=============== ============ ===============================================
 """
 
 from __future__ import annotations
@@ -49,10 +79,11 @@ __all__ = [
     "send_frame",
 ]
 
-#: Version of the coordinator/worker message schema.  A worker whose
-#: version differs from the coordinator's is refused at ``hello`` time —
-#: mixed fleets must fail loudly, not corrupt results.
-PROTOCOL_VERSION = 1
+#: Version of the coordinator/worker/daemon message schema.  A peer whose
+#: version differs from the server's is refused at ``hello`` time —
+#: mixed fleets must fail loudly, not corrupt results.  Version 2 added
+#: the fleet daemon's auth handshake and submitter verbs.
+PROTOCOL_VERSION = 2
 
 #: Upper bound on one frame's JSON payload.  Scenario results carry full
 #: per-edge time series, so frames are allowed to be large — but never

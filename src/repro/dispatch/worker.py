@@ -13,8 +13,17 @@ Workers are expendable by design: once the ``welcome`` handshake is done,
 a dropped connection or coordinator shutdown is a normal way for a run to
 end (the coordinator may finish and exit while this worker is mid-point),
 reported in :attr:`WorkerStats.disconnected` rather than raised.  Failures
-*before* the handshake — nobody listening, protocol version mismatch — are
-real errors and raise :class:`DispatchError`.
+*before* the handshake — nobody listening, protocol version mismatch, a
+failed auth challenge — are real errors and raise :class:`DispatchError`.
+
+The same function serves both servers.  Against a one-shot
+:class:`~repro.dispatch.coordinator.Coordinator` nothing changed: pull
+chunks until ``done``.  Against a :class:`~repro.dispatch.daemon.FleetDaemon`
+the worker additionally answers the HMAC ``challenge`` (``secret=``,
+defaulting to the ``REPRO_FLEET_SECRET`` environment variable), tags each
+result with the sweep name its chunk named — the daemon serves many sweeps
+at once — and, because a daemon never says ``done``, uses ``max_idle`` to
+decide when a quiet queue means "go home" rather than "wait for more".
 
 :class:`~repro.dispatch.faults.FaultPlan` hooks the failure drills in:
 ``run_worker(..., faults=FaultPlan.parse("crash:3"))`` dies hard after
@@ -29,10 +38,16 @@ import threading
 import time
 from dataclasses import dataclass
 
+from repro.dispatch.auth import compute_mac, secret_from_env
 from repro.dispatch.codec import encode_result
 from repro.dispatch.faults import FaultPlan
 from repro.dispatch.protocol import PROTOCOL_VERSION, recv_frame, send_frame
-from repro.errors import CoordinatorUnreachable, DispatchError, ProtocolError
+from repro.errors import (
+    AuthenticationError,
+    CoordinatorUnreachable,
+    DispatchError,
+    ProtocolError,
+)
 from repro.experiments.sweep import SweepPoint, _execute_point
 
 __all__ = ["WorkerStats", "run_worker"]
@@ -50,9 +65,15 @@ class WorkerStats:
     duplicate_results: int = 0
     waits: int = 0
     heartbeats: int = 0
+    #: Distinct sweep names this worker pulled chunks for (fleet daemons
+    #: serve many sweeps over one connection; coordinators exactly one).
+    sweeps_served: int = 0
     #: The connection ended without a clean goodbye (coordinator finished
     #: and went away, or the link dropped).  Normal at end of run.
     disconnected: bool = False
+    #: The worker left because the fleet queue stayed empty past
+    #: ``max_idle`` — the daemon-side analogue of ``done``.
+    idled_out: bool = False
 
 
 def _connect(host: str, port: int, timeout: float, retry_delay: float) -> socket.socket:
@@ -85,16 +106,26 @@ def run_worker(
     heartbeat_interval: float = 2.0,
     connect_timeout: float = 30.0,
     connect_retry_delay: float = 0.2,
+    secret: str | None = None,
+    max_idle: float | None = None,
 ) -> WorkerStats:
-    """Serve one coordinator until its sweep completes; returns stats.
+    """Serve one coordinator or fleet daemon; returns stats.
 
     Blocks the calling thread.  ``faults`` injects a failure drill (see
     :mod:`repro.dispatch.faults`); ``heartbeat_interval`` must stay well
-    under the coordinator's lease timeout or healthy long-running points
-    will be spuriously reassigned (harmless for correctness, wasteful for
-    wall-clock).
+    under the server's lease timeout or healthy long-running points will
+    be spuriously reassigned (harmless for correctness, wasteful for
+    wall-clock).  ``secret`` (default: the ``REPRO_FLEET_SECRET``
+    environment variable) answers a fleet daemon's auth challenge;
+    ``max_idle`` bounds how long the worker waits through an empty queue
+    before leaving cleanly — ``None`` waits forever, the right choice
+    against a one-shot coordinator, which says ``done`` when it means it.
     """
     stats = WorkerStats(worker=name or f"worker-{os.getpid()}")
+    if secret is None:
+        secret = secret_from_env()
+    if max_idle is not None and max_idle <= 0:
+        raise DispatchError(f"max_idle must be positive, got {max_idle}")
     sock = _connect(host, port, connect_timeout, connect_retry_delay)
     lock = threading.Lock()
     stop = threading.Event()
@@ -113,10 +144,33 @@ def run_worker(
     # Handshake failures are genuine errors — nothing to tolerate yet.
     try:
         welcome = rpc(
-            {"type": "hello", "worker": stats.worker, "protocol": PROTOCOL_VERSION}
+            {
+                "type": "hello",
+                "role": "worker",
+                "worker": stats.worker,
+                "protocol": PROTOCOL_VERSION,
+            }
         )
+        if welcome.get("type") == "challenge":
+            # A fleet daemon with a secret configured (repro.dispatch.auth).
+            if not secret:
+                raise AuthenticationError(
+                    "server demands authentication but no fleet secret is "
+                    "configured (set REPRO_FLEET_SECRET)"
+                )
+            welcome = rpc(
+                {
+                    "type": "auth",
+                    "mac": compute_mac(
+                        secret, str(welcome.get("nonce")), "worker", stats.worker
+                    ),
+                }
+            )
         if welcome.get("type") != "welcome":
             raise ProtocolError(f"expected welcome, got {welcome.get('type')!r}")
+    except AuthenticationError:
+        sock.close()
+        raise
     except (ProtocolError, OSError) as exc:
         sock.close()
         raise DispatchError(f"handshake with {host}:{port} failed: {exc}") from exc
@@ -164,6 +218,8 @@ def run_worker(
         heartbeats_suppressed.clear()
         return False
 
+    seen_sweeps: set[str] = set()
+    idle_since: float | None = None
     try:
         while True:
             reply = rpc({"type": "request"})
@@ -176,11 +232,28 @@ def run_worker(
                 return stats
             if kind == "wait":
                 stats.waits += 1
+                now = time.monotonic()
+                if idle_since is None:
+                    idle_since = now
+                if max_idle is not None and now - idle_since >= max_idle:
+                    # Fleet daemons never say done; a queue this quiet
+                    # means the fleet has drained and we may leave.
+                    stats.idled_out = True
+                    try:
+                        rpc({"type": "goodbye"})
+                    except (ProtocolError, OSError):
+                        pass
+                    return stats
                 time.sleep(float(reply.get("delay", 0.2)))
                 continue
             if kind != "chunk":
                 raise ProtocolError(f"unexpected reply {kind!r} to request")
+            idle_since = None
             stats.chunks_received += 1
+            sweep = reply.get("sweep")
+            if isinstance(sweep, str) and sweep not in seen_sweeps:
+                seen_sweeps.add(sweep)
+                stats.sweeps_served = len(seen_sweeps)
             for entry in reply.get("points", ()):
                 # Checked before execution as well as after each result, so
                 # after_points=0 drills die holding an untouched chunk.
@@ -190,13 +263,14 @@ def run_worker(
                 result = _execute_point(
                     (point.config, point.workload, point.read_workload, point.scenario)
                 )
-                ack = rpc(
-                    {
-                        "type": "result",
-                        "index": entry["index"],
-                        "result": encode_result(result),
-                    }
-                )
+                result_frame = {
+                    "type": "result",
+                    "index": entry["index"],
+                    "result": encode_result(result),
+                }
+                if sweep is not None:
+                    result_frame["sweep"] = sweep
+                ack = rpc(result_frame)
                 stats.points_executed += 1
                 if not ack.get("accepted", True):
                     stats.duplicate_results += 1

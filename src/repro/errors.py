@@ -25,6 +25,8 @@ __all__ = [
     "ConfigurationError",
     "CoordinatorUnreachable",
     "DispatchError",
+    "AuthenticationError",
+    "JournalError",
     "ProtocolError",
 ]
 
@@ -160,4 +162,27 @@ class ProtocolError(DispatchError):
     Covers framing violations (bad length prefix, oversized or truncated
     frames), payloads that are not JSON objects, and messages whose type or
     fields do not fit the coordinator/worker protocol.
+    """
+
+
+class AuthenticationError(DispatchError):
+    """A fleet peer failed the shared-secret HMAC handshake.
+
+    Raised server-side when a connection presents no credential, a stale
+    nonce, or a MAC computed with the wrong secret — always *before* the
+    connection touches the fleet queue — and client-side when a daemon
+    demands a challenge the client has no secret for (or rejects ours).
+    """
+
+
+class JournalError(DispatchError):
+    """A fleet journal cannot be trusted.
+
+    Raised when replaying an append-only sweep journal finds structural
+    corruption: an unreadable header, a record for a point index outside
+    the sweep, a *duplicate* point index (the append-only contract was
+    violated), or a journal whose recorded spec fingerprint does not match
+    the sweep being resumed.  A truncated *final* line — the one failure
+    mode an interrupted append legitimately produces — is skipped with a
+    warning instead, because everything before it is still intact.
     """

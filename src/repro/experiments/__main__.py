@@ -15,15 +15,25 @@ machine-readable artifact::
     python -m repro.experiments fig3 --dispatch 0.0.0.0:7643 --json fig3.json
     python -m repro.experiments worker --connect coordinator-host:7643
 
+    # fleet: a long-lived daemon serving many named sweeps with priorities
+    python -m repro.experiments fleet serve --port 7650 --journal-dir journals/
+    python -m repro.experiments worker --connect daemon-host:7650 --max-idle 60
+    python -m repro.experiments fig3 --fleet daemon-host:7650 --json fig3.json
+    python -m repro.experiments fleet status --connect daemon-host:7650
+
     # performance: the tracked bench suite, and profiling any experiment
     python -m repro.experiments bench --json BENCH.json --baseline BENCH_5.json
     python -m repro.experiments fig3 --duration 5 --profile fig3.prof
 
 Experiment ids: fig3, fig4, fig5, fig6, fig7ab, fig7c, fig7d, fig8,
-theorem1, sensitivity, scenario — plus two non-experiment commands:
-``worker``, a dispatch worker process, and ``bench``, the deterministic
+theorem1, sensitivity, scenario — plus three non-experiment commands:
+``worker``, a dispatch worker process; ``bench``, the deterministic
 performance suite (see :mod:`repro.bench`; ``--bench-scale`` shrinks it,
-``--baseline`` prints report-only drift against a recorded ``BENCH_*.json``).
+``--baseline`` prints report-only drift against a recorded ``BENCH_*.json``);
+and ``fleet``, the long-lived queue daemon and its submitter verbs
+(``serve``/``submit``/``status``/``cancel`` — see
+:mod:`repro.dispatch.daemon`; the shared secret always comes from the
+``REPRO_FLEET_SECRET`` environment variable, never argv).
 ``--profile PATH`` wraps any command in :mod:`cProfile` and dumps the stats
 file for ``pstats``/snakeviz.  ``scenario`` runs the
 multi-edge library fleets (heterogeneous loss ramp sized by ``--edges``,
@@ -45,7 +55,13 @@ import os
 import sys
 import time
 
-from repro.dispatch import DispatchSpec, FaultPlan, parse_hostport, run_worker
+from repro.dispatch import (
+    DispatchSpec,
+    FaultPlan,
+    FleetSpec,
+    parse_hostport,
+    run_worker,
+)
 from repro.experiments import (
     fig3_alpha,
     fig4_convergence,
@@ -66,6 +82,14 @@ from repro.experiments.report import (
 )
 from repro.errors import ConfigurationError, CoordinatorUnreachable, DispatchError
 from repro.experiments.sweep import resolve_jobs, spec_artifact
+
+
+def _hostport_type(text: str) -> tuple[str, int]:
+    """argparse adapter around :func:`parse_hostport`'s validation."""
+    try:
+        return parse_hostport(text)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
 
 
 def _jobs_arg(text: str) -> int:
@@ -351,15 +375,18 @@ def _run_bench_command(args, parser: argparse.ArgumentParser) -> int:
 
 
 def _run_worker_command(args, parser: argparse.ArgumentParser) -> int:
-    """The ``worker`` command: serve dispatch coordinators until idle.
+    """The ``worker`` command: serve coordinators or a fleet daemon.
 
     Reconnects after each completed sweep (multi-sweep experiments like
     ``sensitivity`` serve several coordinators back to back); exits once no
-    coordinator appears within ``--connect-timeout`` seconds.  Exit code 0
-    if at least one sweep was served before going idle, 1 for a worker that
-    never served anything or was refused by a coordinator (e.g. a protocol
-    version mismatch) — refusals are real failures however many sweeps
-    came before.
+    coordinator appears within ``--connect-timeout`` seconds, or — against
+    a fleet daemon, which never says ``done`` — once the queue stays empty
+    past ``--max-idle``.  Exit code 0 if at least one sweep was served
+    before going idle (always 0 for a clean ``--max-idle`` exit: a drained
+    fleet is success even for a worker that arrived late), 1 for a worker
+    that never served anything or was refused (e.g. a protocol version
+    mismatch or failed auth challenge) — refusals are real failures however
+    many sweeps came before.
     """
     host, port = args.connect
     faults = args.fault
@@ -372,6 +399,7 @@ def _run_worker_command(args, parser: argparse.ArgumentParser) -> int:
                 name=args.worker_name,
                 faults=faults,
                 connect_timeout=args.connect_timeout,
+                max_idle=args.max_idle,
             )
         except CoordinatorUnreachable as exc:
             if runs:
@@ -380,7 +408,8 @@ def _run_worker_command(args, parser: argparse.ArgumentParser) -> int:
             print(f"worker: {exc}", file=sys.stderr)
             return 1
         except DispatchError as exc:
-            # Reachable but refused (handshake/version failure): always loud.
+            # Reachable but refused (handshake/version/auth failure):
+            # always loud.
             print(f"worker: {exc}", file=sys.stderr)
             return 1
         runs += 1
@@ -390,6 +419,251 @@ def _run_worker_command(args, parser: argparse.ArgumentParser) -> int:
             f"duplicate(s), {stats.heartbeats} heartbeat(s)"
             + (", disconnected]" if stats.disconnected else "]")
         )
+        if stats.idled_out:
+            print(
+                f"[worker idle past {args.max_idle:g}s "
+                f"({stats.sweeps_served} fleet sweep(s) served); exiting]"
+            )
+            return 0
+
+
+def _run_fleet_command(argv: list[str]) -> int:
+    """The ``fleet`` command family: serve a daemon, or talk to one.
+
+    ``serve`` runs the long-lived queue daemon in the foreground;
+    ``submit``/``status``/``cancel`` are submitter verbs against a running
+    daemon.  The shared secret is read from the ``REPRO_FLEET_SECRET``
+    environment variable on every verb — never from argv, where it would
+    leak into process listings and shell history.
+    """
+    import json
+
+    from repro.dispatch.client import (
+        FleetClient,
+        fleet_sweep_name,
+        run_fleet_sweep,
+    )
+    from repro.dispatch.daemon import FleetConfig, run_daemon
+    from repro.dispatch.auth import secret_from_env
+    from repro.errors import AuthenticationError
+    from repro.experiments.sweep import SweepSpec
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments fleet",
+        description="Durable multi-sweep queue daemon (see "
+        "repro.dispatch.daemon) and its submitter verbs.  Shared secret: "
+        "the REPRO_FLEET_SECRET environment variable (unset = open daemon).",
+    )
+    verbs = parser.add_subparsers(dest="verb", required=True)
+
+    serve = verbs.add_parser(
+        "serve", help="run the daemon in the foreground (SIGINT/SIGTERM exit)"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=7650,
+        help="bind port (default: 7650; 0 picks a free port and logs it)",
+    )
+    serve.add_argument(
+        "--journal-dir",
+        metavar="DIR",
+        default=None,
+        help="append-only JSONL journals: every completed point lands here "
+        "and a restarted daemon resumes from them (default: no journal)",
+    )
+    serve.add_argument(
+        "--lease-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=30.0,
+        help="reassign a worker's chunk this long after its last sign of "
+        "life (default: 30)",
+    )
+    serve.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync the journal after every point (slower; survives power "
+        "loss, not just process death)",
+    )
+
+    def _client_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--connect",
+            type=_hostport_type,
+            metavar="HOST:PORT",
+            required=True,
+            help="the daemon to talk to",
+        )
+        sub.add_argument(
+            "--connect-timeout",
+            type=float,
+            metavar="SECONDS",
+            default=30.0,
+            help="keep retrying an unreachable daemon this long per "
+            "operation (default: 30)",
+        )
+
+    submit = verbs.add_parser("submit", help="submit a sweep-spec JSON file")
+    _client_args(submit)
+    submit.add_argument(
+        "spec_path",
+        metavar="SPEC.json",
+        help="a sweep spec payload (SweepSpec.as_dict — e.g. one of the "
+        "sweep_specs entries of a --json artifact)",
+    )
+    submit.add_argument(
+        "--name",
+        default=None,
+        help="sweep name (default: content-derived, so resubmitting the "
+        "same spec resumes it instead of recomputing)",
+    )
+    submit.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="higher priorities drain first; ties serve in submission "
+        "order (default: 0)",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the sweep drains and fetch its results",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="with --wait: give up after this long (default: wait forever, "
+        "riding out daemon restarts)",
+    )
+    submit.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="PATH",
+        default=None,
+        help="with --wait: write the completed SweepResult artifact here",
+    )
+
+    status = verbs.add_parser(
+        "status", help="print sweep, worker and daemon status tables"
+    )
+    _client_args(status)
+    status.add_argument("--sweep", default=None, help="only this sweep's row")
+
+    cancel = verbs.add_parser(
+        "cancel", help="cancel a sweep and tear up its leases"
+    )
+    _client_args(cancel)
+    cancel.add_argument("sweep", help="the sweep name to cancel")
+
+    args = parser.parse_args(argv)
+
+    if args.verb == "serve":
+        try:
+            run_daemon(
+                FleetConfig(
+                    host=args.host,
+                    port=args.port,
+                    journal_dir=args.journal_dir,
+                    lease_timeout=args.lease_timeout,
+                    fsync=args.fsync,
+                )
+            )
+        except (DispatchError, ConfigurationError, OSError) as exc:
+            print(f"fleet serve: {exc}", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.verb == "submit" and args.json_path and not args.wait:
+        parser.error("--json requires --wait (results exist only once drained)")
+    if args.verb == "submit" and args.timeout is not None and not args.wait:
+        parser.error("--timeout requires --wait")
+
+    host, port = args.connect
+    try:
+        if args.verb == "submit":
+            with open(args.spec_path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict) or "columns" not in payload:
+                parser.error(
+                    f"{args.spec_path} is not a sweep spec payload (no "
+                    "'columns' key — pass a SweepSpec.as_dict file, e.g. a "
+                    "sweep_specs entry of a --json artifact)"
+                )
+            # Rebuild locally first: an unportable or corrupt spec must
+            # fail here, not as a daemon-side refusal.
+            spec = SweepSpec.from_dict(payload)
+            name = args.name or fleet_sweep_name(spec)
+            if args.wait:
+                result = run_fleet_sweep(
+                    spec,
+                    FleetSpec(
+                        host=host,
+                        port=port,
+                        priority=args.priority,
+                        name=name,
+                        connect_timeout=args.connect_timeout,
+                        wait_timeout=args.timeout,
+                    ),
+                )
+                print(
+                    f"[sweep {name!r} complete: {len(result.results)} "
+                    f"point(s), {result.jobs} worker(s)]"
+                )
+                if args.json_path:
+                    write_json(args.json_path, result.to_artifact())
+                    print(f"[wrote {args.json_path}]")
+                return 0
+            client = FleetClient(
+                host,
+                port,
+                secret=secret_from_env(),
+                connect_timeout=args.connect_timeout,
+            )
+            reply = client.submit(spec, name=name, priority=args.priority)
+            # An attach keeps the daemon's original priority; only echo
+            # ours when this submission actually set it.
+            suffix = f", priority {args.priority}" if reply.get("created") else ""
+            verb = "submitted" if reply.get("created") else "attached"
+            print(
+                f"[sweep {name!r} {verb}: {reply.get('completed')}/"
+                f"{reply.get('total')} done, state {reply.get('state')}{suffix}]"
+            )
+            return 0
+        client = FleetClient(
+            host,
+            port,
+            secret=secret_from_env(),
+            connect_timeout=args.connect_timeout,
+        )
+        if args.verb == "status":
+            report = client.status(args.sweep)
+            print_table(report.get("sweeps", []), title="Fleet sweeps")
+            print()
+            print_table(report.get("workers", []), title="Fleet workers")
+            print()
+            print_table([report.get("daemon", {})], title="Daemon")
+            return 0
+        reply = client.cancel(args.sweep)
+        if reply.get("existed"):
+            print(f"[sweep {args.sweep!r} cancelled]")
+            return 0
+        print(f"fleet cancel: no sweep named {args.sweep!r}", file=sys.stderr)
+        return 1
+    except AuthenticationError as exc:
+        print(f"fleet {args.verb}: {exc}", file=sys.stderr)
+        return 1
+    except (ConfigurationError, DispatchError) as exc:
+        print(f"fleet {args.verb}: {exc}", file=sys.stderr)
+        return 1
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"fleet {args.verb}: {exc}", file=sys.stderr)
+        return 1
 
 
 def _with_profile(path: str | None, work):
@@ -412,15 +686,23 @@ def _with_profile(path: str | None, work):
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["fleet"]:
+        # The fleet family has verbs of its own (serve/submit/status/cancel)
+        # and shares nothing with the figure flags; parse it separately.
+        return _run_fleet_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the figures of the T-Cache paper.",
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "worker", "bench"],
+        choices=[*EXPERIMENTS, "all", "worker", "bench", "fleet"],
         help="which figure to regenerate, 'worker' to serve a dispatch "
-        "coordinator, or 'bench' to run the tracked performance suite",
+        "coordinator or fleet daemon, 'bench' to run the tracked "
+        "performance suite, or 'fleet serve|submit|status|cancel' for the "
+        "long-lived sweep-queue daemon",
     )
     parser.add_argument(
         "--duration",
@@ -491,12 +773,6 @@ def main(argv: list[str] | None = None) -> int:
         "(report-only; exits 0 regardless of drift)",
     )
 
-    def _hostport_arg(text: str) -> tuple[str, int]:
-        try:
-            return parse_hostport(text)
-        except ConfigurationError as exc:
-            raise argparse.ArgumentTypeError(str(exc))
-
     def _fault_arg(text: str) -> FaultPlan:
         try:
             return FaultPlan.parse(text)
@@ -508,7 +784,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     dispatch_group.add_argument(
         "--dispatch",
-        type=_hostport_arg,
+        type=_hostport_type,
         metavar="HOST:PORT",
         default=None,
         help="serve the experiment's sweeps to remote workers at this "
@@ -516,7 +792,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     dispatch_group.add_argument(
         "--connect",
-        type=_hostport_arg,
+        type=_hostport_type,
         metavar="HOST:PORT",
         default=None,
         help="worker command only: the coordinator to pull work from",
@@ -543,6 +819,41 @@ def main(argv: list[str] | None = None) -> int:
         help="worker failure drill: crash:N (die hard after N points), "
         "stall:N:SECS (go silent mid-run), disconnect:N",
     )
+    fleet_group = parser.add_argument_group(
+        "fleet daemon (see repro.dispatch.daemon; secret via REPRO_FLEET_SECRET)"
+    )
+    fleet_group.add_argument(
+        "--fleet",
+        type=_hostport_type,
+        metavar="HOST:PORT",
+        default=None,
+        help="submit the experiment's sweeps to a running fleet daemon "
+        "('fleet serve') instead of self-coordinating — identical resubmissions "
+        "resume from the daemon's journal (results are identical either way)",
+    )
+    fleet_group.add_argument(
+        "--fleet-priority",
+        type=int,
+        metavar="N",
+        default=0,
+        help="with --fleet: queue priority (higher drains first; default: 0)",
+    )
+    fleet_group.add_argument(
+        "--fleet-wait-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="with --fleet: give up if a sweep has not drained in time "
+        "(default: wait forever, riding out daemon restarts)",
+    )
+    fleet_group.add_argument(
+        "--max-idle",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="worker: exit once the fleet queue stays empty this long — a "
+        "daemon never says done (default: wait forever)",
+    )
     args = parser.parse_args(argv)
     if args.experiment != "bench":
         # Bench-only flags fail loudly on every other command, including
@@ -556,6 +867,10 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("worker requires --connect HOST:PORT")
         if args.dispatch is not None:
             parser.error("--dispatch belongs to the coordinator side, not worker")
+        if args.fleet is not None:
+            parser.error("--fleet belongs to the submitter side, not worker")
+        if args.max_idle is not None and args.max_idle <= 0:
+            parser.error(f"--max-idle must be positive, got {args.max_idle:g}")
         return _with_profile(
             args.profile_path, lambda: _run_worker_command(args, parser)
         )
@@ -563,23 +878,46 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--connect only applies to the worker command")
     if args.fault is not None:
         parser.error("--fault only applies to the worker command")
+    if args.max_idle is not None:
+        parser.error("--max-idle only applies to the worker command")
+    if args.fleet is None:
+        # Same rule as the bench-only flags: a silently dropped fleet flag
+        # would look like a deliberately different submission.
+        if args.fleet_priority != 0:
+            parser.error("--fleet-priority requires --fleet HOST:PORT")
+        if args.fleet_wait_timeout is not None:
+            parser.error("--fleet-wait-timeout requires --fleet HOST:PORT")
     if args.experiment == "bench":
         if args.dispatch is not None:
             parser.error("the bench suite runs locally; --dispatch is not supported")
+        if args.fleet is not None:
+            parser.error("the bench suite runs locally; --fleet is not supported")
         if args.baseline is not None and not os.path.isfile(args.baseline):
             parser.error(f"--baseline: no such file: {args.baseline}")
         return _with_profile(
             args.profile_path, lambda: _run_bench_command(args, parser)
         )
+    if args.dispatch is not None and args.fleet is not None:
+        parser.error("--dispatch and --fleet are mutually exclusive")
     if args.dispatch is not None and args.dispatch[1] == 0:
         # Port 0 binds an OS-chosen port nobody is told about; it is only
         # useful programmatically, where Coordinator.address can be read.
         parser.error("--dispatch needs an explicit port (port 0 is ephemeral)")
-    dispatch = (
-        None
-        if args.dispatch is None
-        else DispatchSpec(host=args.dispatch[0], port=args.dispatch[1])
-    )
+    if args.fleet is not None and args.fleet[1] == 0:
+        parser.error("--fleet needs the daemon's explicit port")
+    if args.fleet is not None:
+        dispatch = FleetSpec(
+            host=args.fleet[0],
+            port=args.fleet[1],
+            priority=args.fleet_priority,
+            wait_timeout=args.fleet_wait_timeout,
+        )
+    else:
+        dispatch = (
+            None
+            if args.dispatch is None
+            else DispatchSpec(host=args.dispatch[0], port=args.dispatch[1])
+        )
     jobs = resolve_jobs(args.jobs)
     duration = 30.0 if args.duration is None else args.duration
     if args.edges < 1:
@@ -604,7 +942,12 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"--json: directory is not writable: {directory}")
 
     selected = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    if dispatch is not None:
+    if isinstance(dispatch, FleetSpec):
+        print(
+            f"[fleet: submitting sweeps to the daemon at "
+            f"{dispatch.host}:{dispatch.port} (priority {dispatch.priority})]"
+        )
+    elif dispatch is not None:
         print(
             f"[dispatch: serving sweeps at {dispatch.host}:{dispatch.port} — "
             f"start workers with 'python -m repro.experiments worker "

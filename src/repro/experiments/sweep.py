@@ -57,6 +57,7 @@ from repro.scenario.spec import ScenarioSpec
 from repro.workloads.base import Workload
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.dispatch.client import FleetSpec
     from repro.dispatch.coordinator import DispatchSpec
 
 __all__ = [
@@ -398,7 +399,7 @@ def run_sweep(
     spec: SweepSpec,
     *,
     jobs: int | None = None,
-    dispatch: "DispatchSpec | None" = None,
+    dispatch: "DispatchSpec | FleetSpec | None" = None,
 ) -> SweepResult:
     """Execute every point of ``spec`` and collect results in spec order.
 
@@ -408,12 +409,17 @@ def run_sweep(
     completions via chunked ``imap_unordered`` so one slow point never
     blocks a whole map wave.  Passing ``dispatch=`` a
     :class:`~repro.dispatch.coordinator.DispatchSpec` instead serves the
-    spec as a work queue to remote workers (see :mod:`repro.dispatch`);
-    every executor returns identical results for the same spec.
+    spec as a work queue to remote workers (see :mod:`repro.dispatch`),
+    while a :class:`~repro.dispatch.client.FleetSpec` submits it to a
+    long-lived fleet daemon and waits; every executor returns identical
+    results for the same spec.
     """
     if dispatch is not None:
+        from repro.dispatch.client import FleetSpec, run_fleet_sweep
         from repro.dispatch.coordinator import run_dispatched
 
+        if isinstance(dispatch, FleetSpec):
+            return run_fleet_sweep(spec, dispatch)
         return run_dispatched(spec, dispatch)
     jobs = resolve_jobs(jobs)
     payloads = [

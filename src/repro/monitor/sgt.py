@@ -57,7 +57,7 @@ transaction once, at completion time.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right, insort
+from bisect import bisect_left, bisect_right
 from typing import Iterable, Mapping
 
 from repro.errors import SimulationError

@@ -15,8 +15,6 @@ window mid-run and checks the emergent dynamics:
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.strategies import Strategy
 from repro.experiments.config import CacheKind, ColumnConfig
 from repro.experiments.runner import build_column

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.deplist import UNBOUNDED, DependencyList
-from repro.types import DepEntry
 
 keys = st.text(alphabet="abcdefgh", min_size=1, max_size=2)
 versions = st.integers(min_value=0, max_value=50)

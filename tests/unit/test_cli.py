@@ -251,6 +251,73 @@ class TestCli:
         with open(out_path) as handle:
             assert json.load(handle)["duration"] == 2.0
 
+    def test_worker_rejects_fleet_flag(self, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["worker", "--connect", "localhost:1", "--fleet", "h:2"])
+        assert excinfo.value.code == 2
+
+    def test_dispatch_and_fleet_are_mutually_exclusive(self, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig7ab", "--dispatch", "h:1", "--fleet", "h:2"])
+        assert excinfo.value.code == 2
+
+    def test_fleet_port_zero_rejected(self, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig7ab", "--fleet", "localhost:0"])
+        assert excinfo.value.code == 2
+
+    def test_fleet_priority_requires_fleet(self, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig7ab", "--fleet-priority", "3"])
+        assert excinfo.value.code == 2
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig7ab", "--fleet-wait-timeout", "10"])
+        assert excinfo.value.code == 2
+
+    def test_max_idle_only_for_worker(self, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig7ab", "--max-idle", "5"])
+        assert excinfo.value.code == 2
+        with pytest.raises(SystemExit) as excinfo:
+            main(["worker", "--connect", "localhost:1", "--max-idle", "0"])
+        assert excinfo.value.code == 2
+
+    def test_bench_rejects_fleet(self, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--fleet", "localhost:7650"])
+        assert excinfo.value.code == 2
+
+    def test_fleet_requires_a_subcommand(self, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet"])
+        assert excinfo.value.code == 2
+
+    def test_fleet_submit_requires_connect(self, capsys, tmp_path) -> None:
+        path = tmp_path / "spec.json"
+        path.write_text("{}")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "submit", str(path)])
+        assert excinfo.value.code == 2
+        assert "--connect" in capsys.readouterr().err
+
+    def test_fleet_submit_rejects_non_sweep_payload(
+        self, capsys, tmp_path
+    ) -> None:
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"schema": "something-else"}))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "submit", str(path), "--connect", "localhost:1"])
+        assert excinfo.value.code == 2
+        assert "columns" in capsys.readouterr().err
+
+    def test_fleet_status_with_no_daemon_fails_cleanly(self, capsys) -> None:
+        # Port 1 is never listening: a clean error, not a traceback.
+        assert main(
+            ["fleet", "status", "--connect", "127.0.0.1:1",
+             "--connect-timeout", "0.2"]
+        ) == 1
+        assert "fleet status:" in capsys.readouterr().err
+
     def test_json_artifact_embeds_sweep_configs(self, tmp_path) -> None:
         path = tmp_path / "fig3.json"
         assert main(["fig3", "--duration", "1", "--jobs", "2",

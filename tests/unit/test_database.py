@@ -3,14 +3,12 @@ lists, invalidation fan-out."""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.deplist import UNBOUNDED
 from repro.db.database import Database, DatabaseConfig, TimingConfig
 from repro.errors import ConfigurationError, KeyNotFound
 from repro.sim.channel import Channel
-from repro.sim.core import Simulator
 from tests.conftest import commit_update
 
 

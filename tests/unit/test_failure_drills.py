@@ -164,7 +164,7 @@ class TestCapacityPlanningSweep:
     def test_points_are_dispatchable(self) -> None:
         """The capacity grid is advertised as a natural dispatch workload —
         every point must be portable."""
-        from repro.experiments.sweep import SweepPoint, SweepSpec
+        from repro.experiments.sweep import SweepSpec
 
         sweep = capacity_planning_sweep(load_factors=(1.0,), shard_options=(1,))
         back = SweepSpec.from_dict(json.loads(json.dumps(sweep.as_dict())))

@@ -7,7 +7,6 @@ import pytest
 from repro.core.multiversion import MultiversionTCache
 from repro.db.invalidation import InvalidationRecord
 from repro.errors import ConfigurationError, InconsistencyDetected
-from repro.sim.core import Simulator
 from tests.helpers import FakeBackend
 
 

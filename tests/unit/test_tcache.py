@@ -9,7 +9,6 @@ from repro.core.strategies import Strategy
 from repro.core.tcache import TCache
 from repro.db.invalidation import InvalidationRecord
 from repro.errors import InconsistencyDetected
-from repro.sim.core import Simulator
 from repro.types import TransactionOutcome
 from tests.helpers import FakeBackend
 

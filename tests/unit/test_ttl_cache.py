@@ -6,7 +6,6 @@ import pytest
 
 from repro.cache.ttl import TTLCache
 from repro.errors import ConfigurationError
-from repro.sim.core import Simulator
 from tests.helpers import FakeBackend
 
 
