@@ -49,6 +49,13 @@ from repro.errors import (
 from repro.experiments.config import CacheKind, ColumnConfig
 from repro.experiments.runner import ColumnResult, build_column, run_column
 from repro.monitor.monitor import ConsistencyMonitor
+from repro.protocols import (
+    ProtocolSpec,
+    get_protocol,
+    protocol_for_edge,
+    protocol_names,
+    register_protocol,
+)
 from repro.scenario import (
     BackendAggregates,
     BackendSpec,
@@ -81,7 +88,7 @@ from repro.workloads.synthetic import (
 )
 from repro.workloads.walker import RandomWalkWorkload
 
-__version__ = "1.2.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BackendAggregates",
@@ -109,6 +116,7 @@ __all__ = [
     "ParetoClusterWorkload",
     "PerfectClusterWorkload",
     "PhaseSwitchWorkload",
+    "ProtocolSpec",
     "RandomWalkWorkload",
     "ReadResult",
     "ReproError",
@@ -132,12 +140,16 @@ __all__ = [
     "check_read",
     "flash_crowd_scenario",
     "geo_skewed_scenario",
+    "get_protocol",
     "heterogeneous_loss_fleet",
     "hot_backend_overload",
     "orkut_like_graph",
+    "protocol_for_edge",
+    "protocol_names",
     "region_failure_drill",
     "regional_backends_scenario",
     "random_walk_sample",
+    "register_protocol",
     "run_column",
     "run_scenario",
     "topology_stats",

@@ -12,8 +12,16 @@ scale and reports the drift (see the ``bench-smoke`` job).
 
 from repro.bench.suite import (
     BENCH_SCHEMA,
+    baseline_series,
     compare_payloads,
     run_suite,
+    trajectory_rows,
 )
 
-__all__ = ["BENCH_SCHEMA", "compare_payloads", "run_suite"]
+__all__ = [
+    "BENCH_SCHEMA",
+    "baseline_series",
+    "compare_payloads",
+    "run_suite",
+    "trajectory_rows",
+]

@@ -25,8 +25,10 @@ at matching scale). All workload inputs derive from fixed seeds via
 from __future__ import annotations
 
 import math
+import os
 import platform
 import random
+import re
 import sys
 import time
 
@@ -39,7 +41,13 @@ from repro.scenario.library import regional_backends_scenario
 from repro.types import CommittedTransaction
 from repro.workloads.synthetic import ParetoClusterWorkload
 
-__all__ = ["BENCH_SCHEMA", "compare_payloads", "run_suite"]
+__all__ = [
+    "BENCH_SCHEMA",
+    "baseline_series",
+    "compare_payloads",
+    "run_suite",
+    "trajectory_rows",
+]
 
 #: Version tag of the bench payload layout.
 BENCH_SCHEMA = "repro.bench/v1"
@@ -288,4 +296,59 @@ def compare_payloads(
                 "regressed": ratio < (1.0 - tolerance),
             }
         )
+    return rows
+
+
+_BASELINE_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def baseline_series(directory: str) -> list[str]:
+    """The committed ``BENCH_<n>.json`` series in ``directory``, oldest first.
+
+    Ordering is numeric on ``<n>`` (the PR number that recorded the
+    payload), not lexicographic, so ``BENCH_10`` sorts after ``BENCH_9``.
+    """
+    entries: list[tuple[int, str]] = []
+    for name in os.listdir(directory):
+        match = _BASELINE_NAME.match(name)
+        if match:
+            entries.append((int(match.group(1)), os.path.join(directory, name)))
+    entries.sort()
+    return [path for _, path in entries]
+
+
+def trajectory_rows(
+    series: list[tuple[str, dict]], *, tolerance: float = 0.5
+) -> list[dict[str, object]]:
+    """Headline metrics across a whole baseline series, oldest -> newest.
+
+    ``series`` holds ``(label, payload)`` pairs in trajectory order —
+    typically every committed ``BENCH_<n>.json`` plus the run just
+    finished. One row per headline metric, one column per point, plus the
+    cumulative newest/oldest ratio and the same report-only ``regressed``
+    flag as :func:`compare_payloads`. All points must share one scale: the
+    trajectory documents one workload's history, not a mix.
+    """
+    if not series:
+        raise ValueError("bench trajectory needs at least one payload")
+    scales = {payload.get("scale") for _, payload in series}
+    if len(scales) > 1:
+        raise ValueError(
+            f"bench scales differ along the trajectory: {sorted(scales, key=str)}; "
+            "a series only documents drift at one scale"
+        )
+    rows: list[dict[str, object]] = []
+    for label, extract in _HEADLINE_METRICS:
+        values = [float(extract(payload["results"])) for _, payload in series]
+        first, last = values[0], values[-1]
+        if first:
+            ratio = last / first
+        else:
+            ratio = 1.0 if last == 0 else math.inf
+        row: dict[str, object] = {"metric": label}
+        for (point_label, _), value in zip(series, values):
+            row[point_label] = round(value, 1)
+        row["total_ratio"] = round(ratio, 3)
+        row["regressed"] = ratio < (1.0 - tolerance)
+        rows.append(row)
     return rows

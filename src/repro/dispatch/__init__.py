@@ -52,7 +52,13 @@ from repro.dispatch.daemon import FleetConfig, FleetDaemon, run_daemon
 from repro.dispatch.faults import FaultPlan
 from repro.dispatch.fleet import FleetQueue
 from repro.dispatch.health import HealthTracker, WorkerHealth
-from repro.dispatch.journal import SweepJournal, sweep_fingerprint
+from repro.dispatch.journal import (
+    JournalIndexEntry,
+    SweepJournal,
+    compact_finished,
+    journal_index,
+    sweep_fingerprint,
+)
 from repro.dispatch.queue import Chunk, WorkQueue
 from repro.dispatch.worker import WorkerStats, run_worker
 from repro.errors import (
@@ -78,13 +84,16 @@ __all__ = [
     "FleetSpec",
     "HealthTracker",
     "JournalError",
+    "JournalIndexEntry",
     "ProtocolError",
     "SECRET_ENV_VAR",
     "SweepJournal",
     "WorkQueue",
     "WorkerHealth",
     "WorkerStats",
+    "compact_finished",
     "compute_mac",
+    "journal_index",
     "parse_hostport",
     "run_daemon",
     "run_dispatched",

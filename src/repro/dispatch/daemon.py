@@ -47,6 +47,7 @@ from repro.dispatch.fleet import FleetQueue
 from repro.dispatch.health import HealthTracker
 from repro.dispatch.journal import (
     SweepJournal,
+    compact_finished,
     journal_path,
     list_journals,
     sweep_fingerprint,
@@ -87,6 +88,12 @@ class FleetConfig:
     max_chunk_points: int = 64
     #: fsync journal appends (survive machine crash, not just SIGKILL).
     fsync: bool = False
+    #: Archive finished journals idle for this many seconds at startup
+    #: (``fleet serve --journal-expiry``); ``None`` keeps every journal
+    #: forever.  ``0.0`` archives every finished journal immediately, so a
+    #: long-lived daemon's restore (and ``fleet status``) stays O(active
+    #: sweeps) however many sweeps it has ever served.
+    journal_expiry: float | None = None
 
     def __post_init__(self) -> None:
         if not self.host:
@@ -102,6 +109,10 @@ class FleetConfig:
         if self.poll_interval <= 0:
             raise ConfigurationError(
                 f"poll_interval must be positive, got {self.poll_interval}"
+            )
+        if self.journal_expiry is not None and self.journal_expiry < 0:
+            raise ConfigurationError(
+                f"journal_expiry must be >= 0 or None, got {self.journal_expiry}"
             )
 
 
@@ -197,6 +208,12 @@ class FleetDaemon:
     # ------------------------------------------------------------------
 
     def _restore_from_journals(self) -> None:
+        if self.config.journal_expiry is not None:
+            archived = compact_finished(
+                self.config.journal_dir, older_than=self.config.journal_expiry
+            )
+            for target in archived:
+                self._log(f"archived finished journal to {target}")
         for path in list_journals(self.config.journal_dir):
             journal, replayed = SweepJournal.attach(path, fsync=self.config.fsync)
             for warning in replayed.warnings:

@@ -26,7 +26,8 @@ machine-readable artifact::
     python -m repro.experiments fig3 --duration 5 --profile fig3.prof
 
 Experiment ids: fig3, fig4, fig5, fig6, fig7ab, fig7c, fig7d, fig8,
-theorem1, sensitivity, scenario — plus three non-experiment commands:
+theorem1, sensitivity, scenario, protocol-race — plus three
+non-experiment commands:
 ``worker``, a dispatch worker process; ``bench``, the deterministic
 performance suite (see :mod:`repro.bench`; ``--bench-scale`` shrinks it,
 ``--baseline`` prints report-only drift against a recorded ``BENCH_*.json``);
@@ -41,7 +42,11 @@ geo-skewed regions, flash crowd, plus — with ``--backends >= 2`` — the
 routed backend tiers, the region-failure drill and the capacity-planning
 grid) and reports per-edge rows, per-backend rows and fleet aggregates;
 ``scenario --spec file.json`` instead replays one scenario recorded with
-``ScenarioSpec.as_dict`` (e.g. from a ``--json`` artifact).  ``--jobs``
+``ScenarioSpec.as_dict`` (e.g. from a ``--json`` artifact).
+``protocol-race`` races every registered consistency protocol
+(:mod:`repro.protocols` — the paper's detector, causal, verified-read,
+locking) across the library fleets and ranks them on inconsistency rate
+vs read latency vs backend load.  ``--jobs``
 defaults to every available CPU; ``--jobs 1`` runs serially and produces
 identical series for the same root seed.  ``--dispatch HOST:PORT`` serves
 every sweep of the experiment to remote workers instead of a local pool —
@@ -69,6 +74,7 @@ from repro.experiments import (
     fig6_strategies,
     fig7_realistic,
     fig8_strategies,
+    protocol_race,
     realistic,
     scenarios,
     sensitivity,
@@ -274,6 +280,17 @@ def _run_scenario(
     return sections, specs
 
 
+def _run_protocol_race(duration: float, jobs: int, dispatch=None):
+    rows, ranking, _payload = protocol_race.run(
+        duration=duration, jobs=jobs, dispatch=dispatch
+    )
+    sections = [
+        _section("Protocol race: per-scenario rows", rows),
+        _section("Protocol race: ranking (fewest inconsistencies, then cheapest reads)", ranking),
+    ]
+    return sections, [protocol_race.spec(duration=duration)]
+
+
 def _run_sensitivity(duration: float, jobs: int, dispatch=None):
     half = duration / 2.0
     sections = [
@@ -313,6 +330,7 @@ EXPERIMENTS = {
     "theorem1": _run_theorem1,
     "sensitivity": _run_sensitivity,
     "scenario": _run_scenario,
+    "protocol-race": _run_protocol_race,
 }
 
 
@@ -359,6 +377,8 @@ def _run_bench_command(args, parser: argparse.ArgumentParser) -> int:
         write_json(args.json_path, payload)
         print(f"[wrote {args.json_path}]")
     if args.baseline is not None:
+        if os.path.isdir(args.baseline):
+            return _print_bench_trajectory(args.baseline, payload)
         with open(args.baseline, encoding="utf-8") as handle:
             baseline = json.load(handle)
         try:
@@ -371,6 +391,50 @@ def _run_bench_command(args, parser: argparse.ArgumentParser) -> int:
         slower = [row["metric"] for row in drift if row["regressed"]]
         if slower:
             print(f"[report-only: slower than baseline tolerance on {slower}]")
+    return 0
+
+
+def _print_bench_trajectory(directory: str, payload: dict) -> int:
+    """``bench --baseline <dir>``: the whole ``BENCH_<n>.json`` series.
+
+    Walks every committed baseline oldest -> newest and appends the run
+    just finished as the newest point when its scale matches (a smoke-scale
+    run against full-scale baselines still prints the committed
+    trajectory, report-only, with a note).
+    """
+    import json
+
+    from repro.bench import baseline_series, trajectory_rows
+
+    paths = baseline_series(directory)
+    if not paths:
+        print(f"bench: no BENCH_<n>.json series in {directory}", file=sys.stderr)
+        return 1
+    series = []
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            name = os.path.splitext(os.path.basename(path))[0]
+            series.append((name, json.load(handle)))
+    if payload.get("scale") == series[-1][1].get("scale"):
+        series.append(("current", payload))
+    else:
+        print(
+            f"[current run at scale {payload.get('scale')} excluded from the "
+            f"scale-{series[-1][1].get('scale')} trajectory]"
+        )
+    try:
+        rows = trajectory_rows(series)
+    except ValueError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 1
+    print()
+    print_table(
+        rows,
+        title=f"Trajectory {series[0][0]} -> {series[-1][0]} (report-only)",
+    )
+    slower = [row["metric"] for row in rows if row["regressed"]]
+    if slower:
+        print(f"[report-only: below trajectory tolerance on {slower}]")
     return 0
 
 
@@ -489,13 +553,24 @@ def _run_fleet_command(argv: list[str]) -> int:
         help="fsync the journal after every point (slower; survives power "
         "loss, not just process death)",
     )
+    serve.add_argument(
+        "--journal-expiry",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="at startup, archive finished journals idle for this long to "
+        "<journal-dir>/archive/ so restore and status stay O(active "
+        "sweeps); 0 archives every finished journal (default: keep all)",
+    )
 
-    def _client_args(sub: argparse.ArgumentParser) -> None:
+    def _client_args(
+        sub: argparse.ArgumentParser, *, required: bool = True
+    ) -> None:
         sub.add_argument(
             "--connect",
             type=_hostport_type,
             metavar="HOST:PORT",
-            required=True,
+            required=required,
             help="the daemon to talk to",
         )
         sub.add_argument(
@@ -552,8 +627,16 @@ def _run_fleet_command(argv: list[str]) -> int:
     status = verbs.add_parser(
         "status", help="print sweep, worker and daemon status tables"
     )
-    _client_args(status)
+    _client_args(status, required=False)
     status.add_argument("--sweep", default=None, help="only this sweep's row")
+    status.add_argument(
+        "--journal-dir",
+        metavar="DIR",
+        default=None,
+        help="offline mode: summarise this journal directory instead of "
+        "asking a live daemon — backed by the stat-cached index, so a "
+        "directory full of finished sweeps costs one stat per file",
+    )
 
     cancel = verbs.add_parser(
         "cancel", help="cancel a sweep and tear up its leases"
@@ -572,6 +655,7 @@ def _run_fleet_command(argv: list[str]) -> int:
                     journal_dir=args.journal_dir,
                     lease_timeout=args.lease_timeout,
                     fsync=args.fsync,
+                    journal_expiry=args.journal_expiry,
                 )
             )
         except (DispatchError, ConfigurationError, OSError) as exc:
@@ -583,6 +667,41 @@ def _run_fleet_command(argv: list[str]) -> int:
         parser.error("--json requires --wait (results exist only once drained)")
     if args.verb == "submit" and args.timeout is not None and not args.wait:
         parser.error("--timeout requires --wait")
+
+    if args.verb == "status" and args.journal_dir is not None:
+        if args.connect is not None:
+            parser.error("--journal-dir and --connect are mutually exclusive")
+        from repro.dispatch.journal import journal_index
+        from repro.errors import JournalError
+
+        try:
+            entries = journal_index(args.journal_dir)
+        except (JournalError, OSError) as exc:
+            print(f"fleet status: {exc}", file=sys.stderr)
+            return 1
+        if args.sweep is not None:
+            entries = [e for e in entries if e.name == args.sweep]
+        print_table(
+            [
+                {
+                    "sweep": entry.name,
+                    "state": "done" if entry.finished else "partial",
+                    "completed": entry.completed,
+                    "total": entry.total,
+                    "priority": entry.priority,
+                    "fingerprint": entry.fingerprint.removeprefix("sha256:")[
+                        :12
+                    ],
+                }
+                for entry in entries
+            ],
+            title=f"Journalled sweeps in {args.journal_dir}",
+        )
+        return 0
+    if args.verb == "status" and args.connect is None:
+        parser.error(
+            "status needs --connect (live daemon) or --journal-dir (offline)"
+        )
 
     host, port = args.connect
     try:
@@ -769,8 +888,10 @@ def main(argv: list[str] | None = None) -> int:
         "--baseline",
         metavar="PATH",
         default=None,
-        help="bench command only: recorded BENCH_*.json to diff against "
-        "(report-only; exits 0 regardless of drift)",
+        help="bench command only: recorded BENCH_*.json to diff against, or "
+        "a directory whose whole BENCH_<n>.json series is walked as an "
+        "oldest->newest trajectory (report-only; exits 0 regardless of "
+        "drift)",
     )
 
     def _fault_arg(text: str) -> FaultPlan:
@@ -892,8 +1013,10 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("the bench suite runs locally; --dispatch is not supported")
         if args.fleet is not None:
             parser.error("the bench suite runs locally; --fleet is not supported")
-        if args.baseline is not None and not os.path.isfile(args.baseline):
-            parser.error(f"--baseline: no such file: {args.baseline}")
+        if args.baseline is not None and not os.path.exists(args.baseline):
+            parser.error(
+                f"--baseline: no such file or directory: {args.baseline}"
+            )
         return _with_profile(
             args.profile_path, lambda: _run_bench_command(args, parser)
         )

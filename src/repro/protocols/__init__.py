@@ -1,0 +1,39 @@
+"""Pluggable edge-consistency protocols, raced in the scenario harness.
+
+The registry (:mod:`repro.protocols.registry`) resolves a protocol name
+from an :class:`~repro.scenario.spec.EdgeSpec` to an edge-side cache
+constructor plus optional per-backend service, making alternative
+consistency designs first-class competitors of the paper's detector in
+the same scenarios, sweeps, fleet dispatch, and reports. See the README's
+"Protocol zoo" section for the registry API and the
+``repro-experiments protocol-race`` experiment that ranks the built-ins on
+inconsistency rate vs read latency vs backend load.
+"""
+
+from repro.protocols.builtin import register_builtins
+from repro.protocols.causal import CausalCache, CausalService
+from repro.protocols.locking import LockCoherentCache, LockingService
+from repro.protocols.registry import (
+    ProtocolSpec,
+    get_protocol,
+    protocol_for_edge,
+    protocol_names,
+    register_protocol,
+)
+from repro.protocols.verified import VerifiedReadCache, VerifiedReadService
+
+register_builtins()
+
+__all__ = [
+    "CausalCache",
+    "CausalService",
+    "LockCoherentCache",
+    "LockingService",
+    "ProtocolSpec",
+    "VerifiedReadCache",
+    "VerifiedReadService",
+    "get_protocol",
+    "protocol_for_edge",
+    "protocol_names",
+    "register_protocol",
+]

@@ -33,13 +33,11 @@ import itertools
 from dataclasses import dataclass
 
 from repro.cache.base import CacheServer
-from repro.cache.kinds import CacheKind
-from repro.cache.ttl import TTLCache
 from repro.clients.read_client import ReadOnlyClient
 from repro.clients.update_client import UpdateClient, UpdateClientStats
-from repro.core.tcache import TCache
 from repro.db.database import Database, DatabaseConfig, DatabaseStats
 from repro.monitor.monitor import ConsistencyMonitor
+from repro.protocols import protocol_for_edge
 from repro.monitor.stats import CLASSES, ClassCounts, TimeSeries
 from repro.scenario.results import (
     BackendAggregates,
@@ -136,32 +134,35 @@ def _initial_objects(spec: ScenarioSpec, backend: BackendSpec) -> dict[Key, obje
     return initial
 
 
-def _make_cache(sim: Simulator, database: Database, edge: EdgeSpec) -> CacheServer:
-    name = {"name": edge.name}
-    if edge.cache_kind is CacheKind.TCACHE:
-        return TCache(
-            sim,
-            database,
-            strategy=edge.strategy,
-            capacity=edge.cache_capacity,
-            deplist_limit=edge.deplist_limit,
-            **name,
-        )
-    if edge.cache_kind is CacheKind.MULTIVERSION:
-        from repro.core.multiversion import MultiversionTCache
+def _make_cache(
+    sim: Simulator,
+    database: Database,
+    edge: EdgeSpec,
+    services: dict[tuple[str, str | None], object] | None = None,
+) -> CacheServer:
+    """Build the edge's cache through the protocol registry.
 
-        return MultiversionTCache(
-            sim,
-            database,
-            capacity=edge.cache_capacity,
-            deplist_limit=edge.deplist_limit,
-            **name,
-        )
-    if edge.cache_kind is CacheKind.TTL:
-        return TTLCache(
-            sim, database, ttl=edge.ttl, capacity=edge.cache_capacity, **name
-        )
-    return CacheServer(sim, database, capacity=edge.cache_capacity, **name)
+    Every cache — including the historical ``cache_kind`` families, which
+    the registry exposes under their protocol names — is constructed here,
+    so the registry is the single seam for adding consistency protocols.
+    ``services`` memoises one backend-side service per ``(protocol,
+    backend namespace)`` pair: edges sharing a backend share its lock
+    manager / signer / session registry, which is what gives cross-edge
+    protocols their semantics.
+    """
+    protocol = protocol_for_edge(edge)
+    service = None
+    if protocol.backend_service is not None:
+        if services is None:
+            service = protocol.backend_service(sim, database)
+        else:
+            service_key = (protocol.name, getattr(database, "namespace", None))
+            service = services.get(service_key)
+            if service is None:
+                service = services[service_key] = protocol.backend_service(
+                    sim, database
+                )
+    return protocol.build_cache(sim, database, edge, service)
 
 
 def build_scenario(spec: ScenarioSpec) -> Scenario:
@@ -201,9 +202,10 @@ def build_scenario(spec: ScenarioSpec) -> Scenario:
             )
 
     edges: list[ScenarioEdge] = []
+    protocol_services: dict[tuple[str, str | None], object] = {}
     for index, edge_spec in enumerate(spec.edges):
         database = by_name[spec.placement[edge_spec.name]]
-        cache = _make_cache(sim, database, edge_spec)
+        cache = _make_cache(sim, database, edge_spec, protocol_services)
         channel = Channel(
             sim,
             cache.handle_invalidation,

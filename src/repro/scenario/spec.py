@@ -146,6 +146,12 @@ class EdgeSpec:
     #: smaller limit checks only the freshest ``deplist_limit`` entries.
     #: ``None`` consults the full shipped list.
     deplist_limit: int | None = None
+    #: Consistency protocol run by this edge, by registry name
+    #: (:mod:`repro.protocols`). ``None`` keeps the historical behaviour of
+    #: building straight from ``cache_kind``/``strategy``; a name overrides
+    #: the cache kind entirely (the runner builds the protocol's cache and
+    #: wires its backend-side service).
+    protocol: str | None = None
 
     #: Aggregate update-transaction rate; 0 models a read-only region.
     update_rate: float = 100.0
@@ -188,9 +194,21 @@ class EdgeSpec:
                 f"edge {self.name!r}: invalidation_latency_mean must be >= 0, "
                 f"got {self.invalidation_latency_mean}"
             )
-        if self.cache_kind is CacheKind.TTL and (self.ttl is None or self.ttl <= 0):
+        if self.protocol is not None:
+            # Resolve eagerly so a bad name fails at spec construction (and
+            # JSON replay) with the registered names in the message, not at
+            # build time deep inside the runner.
+            from repro.protocols import get_protocol
+
+            get_protocol(self.protocol)
+        ttl_required = (
+            self.protocol == "ttl"
+            if self.protocol is not None
+            else self.cache_kind is CacheKind.TTL
+        )
+        if ttl_required and (self.ttl is None or self.ttl <= 0):
             raise ConfigurationError(
-                f"edge {self.name!r}: CacheKind.TTL requires a positive ttl"
+                f"edge {self.name!r}: a TTL cache requires a positive ttl"
             )
         if self.cache_capacity is not None and self.cache_capacity < 1:
             raise ConfigurationError(
@@ -208,7 +226,7 @@ class EdgeSpec:
                     "satisfy 0 <= start < end"
                 )
         if self.deplist_limit is not None:
-            if self.cache_kind not in _CHECKING_KINDS:
+            if self.protocol is None and self.cache_kind not in _CHECKING_KINDS:
                 raise ConfigurationError(
                     f"edge {self.name!r}: deplist_limit only applies to "
                     f"consistency-checking caches, not {self.cache_kind.name}"
@@ -249,6 +267,7 @@ class EdgeSpec:
             "read_workload_spec": _portable(self.read_workload),
             "cache_kind": self.cache_kind.name,
             "strategy": self.strategy.name,
+            "protocol": self.protocol,
             "ttl": self.ttl,
             "cache_capacity": self.cache_capacity,
             "deplist_limit": self.deplist_limit,
@@ -287,14 +306,33 @@ class EdgeSpec:
                 "read_workload_spec; only synthetic-family workloads replay "
                 "from JSON"
             )
+        kind_name = payload.get("cache_kind", "TCACHE")
+        try:
+            cache_kind = CacheKind[kind_name]
+        except KeyError:
+            raise ConfigurationError(
+                f"edge {payload.get('name')!r}: unknown cache_kind "
+                f"{kind_name!r}; registered kinds: "
+                f"{', '.join(kind.name for kind in CacheKind)}"
+            ) from None
+        strategy_name = payload.get("strategy", "ABORT")
+        try:
+            strategy = Strategy[strategy_name]
+        except KeyError:
+            raise ConfigurationError(
+                f"edge {payload.get('name')!r}: unknown strategy "
+                f"{strategy_name!r}; registered strategies: "
+                f"{', '.join(s.name for s in Strategy)}"
+            ) from None
         return cls(
             name=payload["name"],
             workload=workload_from_dict(workload_spec),
             read_workload=(
                 None if read_spec is None else workload_from_dict(read_spec)
             ),
-            cache_kind=CacheKind[payload.get("cache_kind", "TCACHE")],
-            strategy=Strategy[payload.get("strategy", "ABORT")],
+            cache_kind=cache_kind,
+            strategy=strategy,
+            protocol=payload.get("protocol"),
             ttl=payload.get("ttl"),
             cache_capacity=payload.get("cache_capacity"),
             deplist_limit=payload.get("deplist_limit"),

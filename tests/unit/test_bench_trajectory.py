@@ -1,0 +1,127 @@
+"""Unit tests for the bench baseline-series trajectory (satellite 3)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.bench.suite import baseline_series, trajectory_rows
+
+
+def fake_payload(scale: float, rate: float) -> dict:
+    """A structurally complete bench payload with every headline rate set
+    to ``rate`` (the extractors only look at these fields)."""
+    return {
+        "scale": scale,
+        "results": {
+            "column_throughput": {"events_per_sec": rate},
+            "sgt_checks": {
+                "by_size": [
+                    {"checks_per_sec": rate, "records_per_sec": rate},
+                ]
+            },
+            "deplist_merge": {"merges_per_sec": rate},
+            "scenario": {"transactions_per_wall_sec": rate},
+        },
+    }
+
+
+class TestBaselineSeries:
+    def test_numeric_ordering(self, tmp_path) -> None:
+        for n in (10, 9, 2):
+            (tmp_path / f"BENCH_{n}.json").write_text("{}", encoding="utf-8")
+        (tmp_path / "BENCH_x.json").write_text("{}", encoding="utf-8")
+        (tmp_path / "notes.md").write_text("", encoding="utf-8")
+        series = baseline_series(str(tmp_path))
+        assert [p.rsplit("/", 1)[-1] for p in series] == [
+            "BENCH_2.json",
+            "BENCH_9.json",
+            "BENCH_10.json",
+        ]
+
+    def test_empty_directory(self, tmp_path) -> None:
+        assert baseline_series(str(tmp_path)) == []
+
+
+class TestTrajectoryRows:
+    def test_one_row_per_metric_one_column_per_point(self) -> None:
+        series = [
+            ("BENCH_4", fake_payload(1.0, 100.0)),
+            ("BENCH_5", fake_payload(1.0, 150.0)),
+            ("current", fake_payload(1.0, 200.0)),
+        ]
+        rows = trajectory_rows(series)
+        assert len(rows) == 5
+        for row in rows:
+            assert row["BENCH_4"] == 100.0
+            assert row["BENCH_5"] == 150.0
+            assert row["current"] == 200.0
+            assert row["total_ratio"] == 2.0
+            assert row["regressed"] is False
+
+    def test_ratio_is_newest_over_oldest(self) -> None:
+        series = [
+            ("a", fake_payload(1.0, 100.0)),
+            ("b", fake_payload(1.0, 500.0)),  # the middle point is ignored
+            ("c", fake_payload(1.0, 40.0)),
+        ]
+        rows = trajectory_rows(series)
+        assert rows[0]["total_ratio"] == 0.4
+        assert rows[0]["regressed"] is True
+
+    def test_tolerance_bounds_the_flag(self) -> None:
+        series = [
+            ("a", fake_payload(1.0, 100.0)),
+            ("b", fake_payload(1.0, 60.0)),
+        ]
+        assert all(
+            row["regressed"] is False
+            for row in trajectory_rows(series, tolerance=0.5)
+        )
+        assert all(
+            row["regressed"] is True
+            for row in trajectory_rows(series, tolerance=0.2)
+        )
+
+    def test_zero_baseline_handled(self) -> None:
+        both_zero = trajectory_rows(
+            [("a", fake_payload(1.0, 0.0)), ("b", fake_payload(1.0, 0.0))]
+        )
+        assert all(row["total_ratio"] == 1.0 for row in both_zero)
+        from_zero = trajectory_rows(
+            [("a", fake_payload(1.0, 0.0)), ("b", fake_payload(1.0, 5.0))]
+        )
+        assert all(math.isinf(row["total_ratio"]) for row in from_zero)
+
+    def test_mixed_scales_refused(self) -> None:
+        with pytest.raises(ValueError, match="scales differ"):
+            trajectory_rows(
+                [("a", fake_payload(1.0, 1.0)), ("b", fake_payload(0.5, 1.0))]
+            )
+
+    def test_empty_series_refused(self) -> None:
+        with pytest.raises(ValueError, match="at least one"):
+            trajectory_rows([])
+
+    def test_single_point_is_a_valid_trajectory(self) -> None:
+        rows = trajectory_rows([("only", fake_payload(1.0, 10.0))])
+        assert all(row["total_ratio"] == 1.0 for row in rows)
+
+    def test_committed_baseline_parses(self, tmp_path) -> None:
+        """The repo's own committed series must feed the trajectory."""
+        import os
+
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        series = baseline_series(repo_root)
+        assert series, "the repo should commit at least one BENCH_<n>.json"
+        loaded = []
+        for path in series:
+            with open(path, encoding="utf-8") as handle:
+                name = os.path.basename(path).rsplit(".", 1)[0]
+                loaded.append((name, json.load(handle)))
+        rows = trajectory_rows(loaded)
+        assert len(rows) == 5

@@ -13,7 +13,7 @@ class TestCli:
     def test_experiment_registry_covers_every_figure(self) -> None:
         assert set(EXPERIMENTS) == {
             "fig3", "fig4", "fig5", "fig6", "fig7ab", "fig7c", "fig7d",
-            "fig8", "theorem1", "sensitivity", "scenario",
+            "fig8", "theorem1", "sensitivity", "scenario", "protocol-race",
         }
 
     def test_unknown_experiment_rejected(self, capsys) -> None:
@@ -317,6 +317,56 @@ class TestCli:
              "--connect-timeout", "0.2"]
         ) == 1
         assert "fleet status:" in capsys.readouterr().err
+
+    def test_fleet_status_needs_connect_or_journal_dir(self, capsys) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "status"])
+        assert excinfo.value.code == 2
+        assert "--journal-dir" in capsys.readouterr().err
+
+    def test_fleet_status_rejects_connect_plus_journal_dir(
+        self, capsys, tmp_path
+    ) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "status", "--connect", "127.0.0.1:1",
+                  "--journal-dir", str(tmp_path)])
+        assert excinfo.value.code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_fleet_status_offline_reads_a_journal_dir(
+        self, capsys, tmp_path
+    ) -> None:
+        from dataclasses import replace
+
+        from repro.dispatch.journal import SweepJournal
+        from repro.experiments.config import ColumnConfig
+        from repro.experiments.sweep import SweepPoint, SweepSpec, derive_seed
+        from repro.workloads.synthetic import PerfectClusterWorkload
+
+        workload = PerfectClusterWorkload(n_objects=40, cluster_size=4)
+        config = ColumnConfig(seed=1, duration=0.4, warmup=0.2)
+        spec = SweepSpec(
+            name="offline",
+            root_seed=1,
+            points=[
+                SweepPoint(
+                    label=f"c{i}",
+                    config=replace(config, seed=derive_seed(1, i)),
+                    workload=workload,
+                    params={"i": i},
+                )
+                for i in range(2)
+            ],
+        )
+        journal = SweepJournal.create(
+            str(tmp_path), spec, name="offline-sweep", priority=1
+        )
+        with journal:
+            journal.record(0, {"kind": "column", "payload": {}})
+        assert main(["fleet", "status", "--journal-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "offline-sweep" in out
+        assert "partial" in out
 
     def test_json_artifact_embeds_sweep_configs(self, tmp_path) -> None:
         path = tmp_path / "fig3.json"

@@ -1,0 +1,140 @@
+"""Unit tests for the journal directory index cache and compaction.
+
+Satellite contract: ``fleet status`` over a directory of finished sweeps
+must cost one ``stat`` per file, not one full replay — and finished
+journals must be archivable so daemon restarts stop paying for them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.dispatch import journal as journal_module
+from repro.dispatch.journal import (
+    ARCHIVE_DIRNAME,
+    INDEX_FILENAME,
+    SweepJournal,
+    compact_finished,
+    journal_index,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.config import ColumnConfig
+from repro.experiments.sweep import SweepPoint, SweepSpec, derive_seed
+from repro.workloads.synthetic import PerfectClusterWorkload
+
+
+def tiny_spec(n_points: int = 2, *, root_seed: int = 1) -> SweepSpec:
+    workload = PerfectClusterWorkload(n_objects=40, cluster_size=4)
+    config = ColumnConfig(seed=1, duration=0.4, warmup=0.2)
+    return SweepSpec(
+        name="index-spec",
+        root_seed=root_seed,
+        points=[
+            SweepPoint(
+                label=f"col{index}",
+                config=replace(config, seed=derive_seed(root_seed, index)),
+                workload=workload,
+                params={"index": index},
+            )
+            for index in range(n_points)
+        ],
+    )
+
+
+def write_journal(journal_dir, name: str, *, completed: int, total: int = 2):
+    journal = SweepJournal.create(
+        str(journal_dir), tiny_spec(total), name=name, priority=3
+    )
+    with journal:
+        for index in range(completed):
+            journal.record(index, {"kind": "column", "payload": {"i": index}})
+    return journal.path
+
+
+class TestJournalIndex:
+    def test_summarises_every_journal(self, tmp_path) -> None:
+        write_journal(tmp_path, "done", completed=2)
+        write_journal(tmp_path, "half", completed=1)
+        index = {entry.name: entry for entry in journal_index(str(tmp_path))}
+        assert set(index) == {"done", "half"}
+        assert index["done"].finished is True
+        assert index["done"].completed == index["done"].total == 2
+        assert index["half"].finished is False
+        assert index["half"].completed == 1
+        assert index["half"].priority == 3
+
+    def test_cache_hit_skips_replay(self, tmp_path, monkeypatch) -> None:
+        write_journal(tmp_path, "done", completed=2)
+        journal_index(str(tmp_path))  # prime the sidecar cache
+        assert os.path.exists(tmp_path / INDEX_FILENAME)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("cached journal was replayed")
+
+        monkeypatch.setattr(journal_module.SweepJournal, "replay", boom)
+        [entry] = journal_index(str(tmp_path))
+        assert entry.name == "done"
+        assert entry.finished is True
+
+    def test_appends_invalidate_the_cached_entry(self, tmp_path) -> None:
+        path = write_journal(tmp_path, "half", completed=1)
+        [before] = journal_index(str(tmp_path))
+        assert before.completed == 1
+        journal, _ = SweepJournal.attach(path)
+        with journal:
+            journal.record(1, {"kind": "column", "payload": {"i": 1}})
+        [after] = journal_index(str(tmp_path))
+        assert after.completed == 2
+        assert after.finished is True
+
+    def test_corrupt_cache_is_rebuilt(self, tmp_path) -> None:
+        write_journal(tmp_path, "done", completed=2)
+        journal_index(str(tmp_path))
+        (tmp_path / INDEX_FILENAME).write_text("{not json", encoding="utf-8")
+        [entry] = journal_index(str(tmp_path))
+        assert entry.finished is True
+
+    def test_empty_directory(self, tmp_path) -> None:
+        assert journal_index(str(tmp_path)) == []
+
+
+class TestCompactFinished:
+    def test_moves_only_finished_journals(self, tmp_path) -> None:
+        done_path = write_journal(tmp_path, "done", completed=2)
+        half_path = write_journal(tmp_path, "half", completed=1)
+        archived = compact_finished(str(tmp_path))
+        assert len(archived) == 1
+        assert not os.path.exists(done_path)
+        assert os.path.exists(half_path)
+        assert os.path.dirname(archived[0]).endswith(ARCHIVE_DIRNAME)
+        # The archived journal remains replayable by hand.
+        replayed = SweepJournal.replay(archived[0])
+        assert sorted(replayed.results) == [0, 1]
+        # The live index no longer lists it.
+        assert [e.name for e in journal_index(str(tmp_path))] == ["half"]
+
+    def test_older_than_spares_recent_journals(self, tmp_path) -> None:
+        path = write_journal(tmp_path, "done", completed=2)
+        mtime = os.stat(path).st_mtime
+        assert (
+            compact_finished(str(tmp_path), older_than=60.0, now=mtime + 10.0)
+            == []
+        )
+        assert os.path.exists(path)
+        archived = compact_finished(
+            str(tmp_path), older_than=60.0, now=mtime + 120.0
+        )
+        assert len(archived) == 1
+
+    def test_custom_archive_dir(self, tmp_path) -> None:
+        write_journal(tmp_path, "done", completed=2)
+        vault = tmp_path / "vault"
+        [archived] = compact_finished(str(tmp_path), archive_dir=str(vault))
+        assert os.path.dirname(archived) == str(vault)
+
+    def test_negative_expiry_rejected(self, tmp_path) -> None:
+        with pytest.raises(ConfigurationError, match="older_than"):
+            compact_finished(str(tmp_path), older_than=-1.0)
