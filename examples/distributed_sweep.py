@@ -29,11 +29,10 @@ Across real hosts the shape is identical, via the CLI::
 Run:  python examples/distributed_sweep.py
 """
 
-import json
 import threading
 
 from repro.dispatch import Coordinator, DispatchSpec, FaultPlan, run_worker
-from repro.experiments.report import print_table
+from repro.experiments.report import normalized_artifact, print_table
 from repro.experiments.scenarios import backend_rows
 from repro.experiments.sweep import run_sweep
 from repro.scenario import capacity_planning_sweep
@@ -100,10 +99,9 @@ def main() -> None:
 
     # --- determinism: the serial run must produce the same bytes --------
     serial = run_sweep(spec, jobs=1)
-    left, right = distributed.to_artifact(), serial.to_artifact()
-    for artifact in (left, right):
-        artifact.pop("jobs"), artifact.pop("wall_clock_seconds")
-    assert json.dumps(left) == json.dumps(right), "determinism violated!"
+    assert normalized_artifact(distributed) == normalized_artifact(serial), (
+        "determinism violated!"
+    )
     print("distributed artifact is byte-identical to the jobs=1 run\n")
 
     # --- the capacity answer, per backend -------------------------------

@@ -20,7 +20,6 @@ Run:  python examples/fleet_daemon.py
 
 from __future__ import annotations
 
-import json
 import tempfile
 import threading
 import time
@@ -28,6 +27,7 @@ from dataclasses import replace
 
 from repro import ColumnConfig, PerfectClusterWorkload
 from repro.dispatch import FleetConfig, FleetDaemon, FleetSpec, run_worker
+from repro.experiments.report import normalized_artifact
 from repro.experiments.sweep import SweepPoint, SweepSpec, derive_seed, run_sweep
 
 SECRET = "example-fleet-secret"
@@ -81,10 +81,8 @@ def start_workers(daemon: FleetDaemon, count: int) -> list[threading.Thread]:
 
 
 def comparable(result) -> str:
-    payload = result.to_artifact()
-    payload.pop("jobs")
-    payload.pop("wall_clock_seconds")
-    return json.dumps(payload)
+    # The shared definition of "byte-identical modulo run environment".
+    return normalized_artifact(result)
 
 
 def main() -> None:

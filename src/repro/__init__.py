@@ -88,7 +88,7 @@ from repro.workloads.synthetic import (
 )
 from repro.workloads.walker import RandomWalkWorkload
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BackendAggregates",

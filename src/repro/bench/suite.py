@@ -217,6 +217,51 @@ def bench_scenario(scale: float = 1.0) -> dict[str, object]:
     }
 
 
+def bench_telemetry_overhead(scale: float = 1.0) -> dict[str, object]:
+    """The same seeded column with telemetry off, then fully traced.
+
+    The off run takes the production fast path (``sim._tracer is None``);
+    the on run captures every category into a live
+    :class:`~repro.telemetry.Tracer`. Both must execute the *same* event
+    count — instrumentation observes the simulation, never steers it —
+    recorded as a determinism witness. The off rate is what the committed
+    ``column events/sec`` trajectory polices across PRs; ``overhead_ratio``
+    (off rate / on rate) documents what full tracing costs when you ask
+    for it.
+    """
+    from repro import telemetry
+
+    duration = 4.0 * scale
+
+    def one_column():
+        config = ColumnConfig(seed=23, duration=duration, warmup=1.0 * scale)
+        workload = ParetoClusterWorkload(
+            n_objects=2000, cluster_size=5, alpha=1.0
+        )
+        column = build_column(config, workload)
+        start = time.perf_counter()
+        column.sim.run(until=config.total_time)
+        return column.sim.events_executed, time.perf_counter() - start
+
+    untraced_events, untraced_wall = one_column()
+    with telemetry.capture("bench") as tracer:
+        traced_events, traced_wall = one_column()
+        trace_records = len(tracer.records)
+    untraced_rate = untraced_events / untraced_wall if untraced_wall else 0.0
+    traced_rate = traced_events / traced_wall if traced_wall else 0.0
+    return {
+        "simulated_seconds": duration,
+        "events": untraced_events,
+        "events_match": untraced_events == traced_events,
+        "trace_records": trace_records,
+        "untraced_wall_seconds": untraced_wall,
+        "traced_wall_seconds": traced_wall,
+        "untraced_events_per_sec": untraced_rate,
+        "traced_events_per_sec": traced_rate,
+        "overhead_ratio": untraced_rate / traced_rate if traced_rate else 0.0,
+    }
+
+
 # ---------------------------------------------------------------------------
 # Suite
 # ---------------------------------------------------------------------------
@@ -231,6 +276,10 @@ def run_suite(scale: float = 1.0) -> dict[str, object]:
         "sgt_checks": bench_sgt_checks(scale),
         "deplist_merge": bench_deplist_merge(scale),
         "scenario": bench_scenario(scale),
+        # Absent from older committed baselines; compare_payloads and
+        # trajectory_rows only walk _HEADLINE_METRICS, so the series
+        # stays comparable across the addition.
+        "telemetry_overhead": bench_telemetry_overhead(scale),
     }
     return {
         "schema": BENCH_SCHEMA,

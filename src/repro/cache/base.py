@@ -90,6 +90,10 @@ class CacheStorage:
         self.ttl = ttl
         self.capacity = capacity
         self.stats = CacheStats()
+        #: Telemetry handle installed by the owning CacheServer when a trace
+        #: capture is active; storage has no simulator handle of its own, but
+        #: every mutating call already receives ``now``.
+        self._tracer = None
 
     def get(self, key: Key, now: float) -> VersionedValue | None:
         """The cached entry, or None when absent or expired."""
@@ -99,6 +103,9 @@ class CacheStorage:
         if self.ttl is not None and now - slot[1] >= self.ttl:
             del self._entries[key]
             self.stats.ttl_expirations += 1
+            if self._tracer is not None:
+                self._tracer.emit(now, "cache", "evict_ttl", {"key": key})
+                self._tracer.metrics.count("cache.ttl_expirations")
             return None
         if self.capacity is not None:
             # Recency order only drives capacity eviction; unbounded caches
@@ -116,8 +123,13 @@ class CacheStorage:
         if self.capacity is not None:
             self._entries.move_to_end(entry.key)
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted_key, _ = self._entries.popitem(last=False)
                 self.stats.capacity_evictions += 1
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        now, "cache", "evict_capacity", {"key": evicted_key}
+                    )
+                    self._tracer.metrics.count("cache.capacity_evictions")
 
     def invalidate(self, key: Key, version: int) -> bool:
         """Drop the entry if the cached copy is older than ``version``."""
@@ -169,6 +181,9 @@ class CacheServer:
         self.backend_namespace: str | None = getattr(backend, "namespace", None)
         self.name = name
         self.storage = CacheStorage(ttl=ttl, capacity=capacity)
+        tracer = sim._tracer
+        if tracer is not None and tracer.wants("cache"):
+            self.storage._tracer = tracer
         self.stats = self.storage.stats
         self._open_txns: dict[TxnId, ReadOnlyTransactionRecord] = {}
         self._txn_listeners: list[Callable[[ReadOnlyTransactionRecord], None]] = []
@@ -203,10 +218,29 @@ class CacheServer:
                 f"namespace {namespace!r}"
             )
         self.stats.invalidations_received += 1
-        if self.storage.invalidate(record.key, record.version):
+        applied = self.storage.invalidate(record.key, record.version)
+        if applied:
             self.stats.invalidations_applied += 1
         else:
             self.stats.invalidations_ignored += 1
+        tracer = self._sim._tracer
+        if tracer is not None and tracer.wants("cache"):
+            tracer.emit(
+                self._sim.now,
+                "cache",
+                "invalidation",
+                {
+                    "cache": self.name,
+                    "key": record.key,
+                    "version": record.version,
+                    "applied": applied,
+                },
+            )
+            tracer.metrics.count(
+                "cache.invalidations_applied"
+                if applied
+                else "cache.invalidations_ignored"
+            )
 
     # ------------------------------------------------------------------
     # The read path
@@ -232,6 +266,11 @@ class CacheServer:
             if ttl is not None and self._sim.now - slot[1] >= ttl:
                 del storage._entries[key]
                 stats.ttl_expirations += 1
+                if storage._tracer is not None:
+                    storage._tracer.emit(
+                        self._sim.now, "cache", "evict_ttl", {"key": key}
+                    )
+                    storage._tracer.metrics.count("cache.ttl_expirations")
             else:
                 if storage.capacity is not None:
                     storage._entries.move_to_end(key)
@@ -250,6 +289,21 @@ class CacheServer:
             open_txns[txn_id] = record
 
         entry, retried = self._check_read(txn_id, record, entry)
+        tracer = self._sim._tracer
+        if tracer is not None and tracer.wants("cache"):
+            tracer.emit(
+                self._sim.now,
+                "cache",
+                "serve",
+                {
+                    "cache": self.name,
+                    "key": key,
+                    "version": entry.version,
+                    "hit": not cache_miss,
+                    "retried": retried,
+                },
+            )
+            tracer.metrics.count("cache.hits" if not cache_miss else "cache.misses")
         reads = record.reads
         previous = reads.get(key)
         if previous is not None and previous != entry.version:
@@ -299,6 +353,15 @@ class CacheServer:
         self.stats.misses += 1
         entry = self._backend.read_entry(key)
         self.storage.put(entry, self._sim.now)
+        tracer = self._sim._tracer
+        if tracer is not None and tracer.wants("cache"):
+            tracer.emit(
+                self._sim.now,
+                "cache",
+                "fetch",
+                {"cache": self.name, "key": key, "version": entry.version},
+            )
+            tracer.metrics.count("cache.fetches")
         return entry
 
     def _finish(self, txn_id: TxnId, outcome: TransactionOutcome) -> None:
@@ -309,5 +372,19 @@ class CacheServer:
             self.stats.transactions_committed += 1
         else:
             self.stats.transactions_aborted += 1
+        tracer = self._sim._tracer
+        if tracer is not None and tracer.wants("cache"):
+            tracer.emit(
+                record.finish_time,
+                "cache",
+                "txn_finish",
+                {
+                    "cache": self.name,
+                    "txn": txn_id,
+                    "outcome": outcome.name,
+                    "reads": len(record.reads),
+                },
+            )
+            tracer.metrics.count(f"cache.txn_{outcome.name.lower()}")
         for listener in self._txn_listeners:
             listener(record)

@@ -219,6 +219,19 @@ class Database:
     def _publish_commit(
         self, committed: CommittedTransaction, installed: tuple[VersionedValue, ...]
     ) -> None:
+        tracer = self._sim._tracer
+        if tracer is not None and tracer.wants("db"):
+            tracer.emit(
+                self._sim.now,
+                "db",
+                "commit",
+                {
+                    "backend": self.namespace,
+                    "txn": committed.txn_id,
+                    "writes": len(installed),
+                },
+            )
+            tracer.metrics.count("db.commits")
         for listener in self._commit_listeners:
             listener(committed)
         for entry in installed:
@@ -240,7 +253,17 @@ class Database:
     def read_entry(self, key: Key) -> VersionedValue:
         """Lock-free read of the current committed entry (cache-miss path)."""
         self.stats.entry_reads += 1
-        return self.shard_for(key).read_latest(key)
+        entry = self.shard_for(key).read_latest(key)
+        tracer = self._sim._tracer
+        if tracer is not None and tracer.wants("db"):
+            tracer.emit(
+                self._sim.now,
+                "db",
+                "entry_read",
+                {"backend": self.namespace, "key": key, "version": entry.version},
+            )
+            tracer.metrics.count("db.entry_reads")
+        return entry
 
     # ------------------------------------------------------------------
     # Topology and versions

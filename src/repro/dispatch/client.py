@@ -142,6 +142,15 @@ class FleetClient:
             frame["sweep"] = name
         return self._roundtrip(frame, expect="status_report")
 
+    def metrics(self) -> dict:
+        """Live daemon telemetry as a ``repro.telemetry/1`` section.
+
+        The ``metrics_report`` reply carries the daemon's own counters and
+        per-sweep/per-worker gauges under ``"telemetry"`` — the same schema
+        :func:`repro.telemetry.validate_telemetry` checks in artifacts.
+        """
+        return self._roundtrip({"type": "metrics"}, expect="metrics_report")
+
     def cancel(self, name: str) -> dict:
         return self._roundtrip(
             {"type": "cancel", "sweep": name}, expect="cancelled"

@@ -60,6 +60,10 @@ def _encode_column(result: ColumnResult) -> dict[str, object]:
         "detections_eq1": result.detections_eq1,
         "detections_eq2": result.detections_eq2,
         "retries_resolved": result.retries_resolved,
+        # Telemetry rides along only when the point ran traced, so untraced
+        # frames stay byte-identical to previous protocol versions.
+        **({"telemetry": result.telemetry} if result.telemetry is not None else {}),
+        **({"trace": result.trace} if result.trace is not None else {}),
     }
 
 
@@ -80,6 +84,8 @@ def _decode_column(payload: Mapping[str, object], config) -> ColumnResult:
         detections_eq1=payload["detections_eq1"],
         detections_eq2=payload["detections_eq2"],
         retries_resolved=payload["retries_resolved"],
+        telemetry=payload.get("telemetry"),
+        trace=payload.get("trace"),
     )
 
 
@@ -99,6 +105,8 @@ def _encode_scenario(result: ScenarioResult) -> dict[str, object]:
             }
             for aggregate in result.backends
         ],
+        **({"telemetry": result.telemetry} if result.telemetry is not None else {}),
+        **({"trace": result.trace} if result.trace is not None else {}),
     }
 
 
@@ -132,6 +140,8 @@ def _decode_scenario(
             )
             for backend in payload["backends"]
         ],
+        telemetry=payload.get("telemetry"),
+        trace=payload.get("trace"),
     )
 
 

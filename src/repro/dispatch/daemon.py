@@ -34,6 +34,7 @@ artifact byte-identical to a ``jobs=1`` run.
 
 from __future__ import annotations
 
+import logging
 import os
 import socketserver
 import sys
@@ -60,10 +61,15 @@ from repro.errors import (
     ProtocolError,
 )
 from repro.experiments.sweep import SweepSpec, spec_artifact
+from repro.telemetry import MetricsRegistry
 
 __all__ = ["FleetConfig", "FleetDaemon", "run_daemon"]
 
 _ROLES = ("worker", "submitter")
+
+#: Daemon diagnostics go through stdlib logging (the CLI configures the
+#: root handler and ``--log-level``); user-facing tables stay on stdout.
+_LOGGER = logging.getLogger("repro.dispatch.daemon")
 
 
 @dataclass(slots=True)
@@ -430,6 +436,8 @@ class FleetDaemon:
             return self._handle_submit(frame)
         if kind == "status":
             return self._handle_status(frame)
+        if kind == "metrics":
+            return self._handle_metrics()
         if kind == "cancel":
             sweep = frame.get("sweep")
             if not isinstance(sweep, str):
@@ -541,6 +549,53 @@ class FleetDaemon:
             },
         }
 
+    def _handle_metrics(self) -> dict:
+        """Live ``repro.telemetry/1`` snapshot of the daemon's own state.
+
+        Built on demand from the same counters ``status`` reads — the
+        daemon keeps no registry between calls, so the verb costs nothing
+        while nobody asks.  Per-sweep throughput uses the ``executed``
+        counter (results accepted over the wire this lifetime); journal lag
+        is results completed but not yet durable in that sweep's journal —
+        nonzero only in the window between accept and append (omitted for
+        daemons running without a journal directory).
+        """
+        registry = MetricsRegistry()
+        uptime = max(time.monotonic() - self.stats.started_at, 1e-9)
+        registry.gauge("daemon.uptime_seconds", round(uptime, 3))
+        registry.count("daemon.connections", self.stats.connections)
+        registry.count("daemon.rejected_auth", self.stats.rejected_auth)
+        registry.count("daemon.rejected_protocol", self.stats.rejected_protocol)
+        registry.count("daemon.submissions", self.stats.submissions)
+        registry.count("daemon.results_accepted", self.stats.results_accepted)
+        registry.count("queue.leases_requeued", self.queue.leases_requeued)
+        for row in self.queue.status_rows():
+            name = row["sweep"]
+            registry.gauge(f"sweep.{name}.total", row["total"])
+            registry.gauge(f"sweep.{name}.completed", row["completed"])
+            registry.gauge(f"sweep.{name}.pending", row["pending"])
+            registry.gauge(f"sweep.{name}.leased", row["leased"])
+            registry.gauge(
+                f"sweep.{name}.throughput_points_per_sec",
+                round(row["executed"] / uptime, 6),
+            )
+            journal = self._journals.get(name)
+            if journal is not None:
+                registry.gauge(
+                    f"sweep.{name}.journal_lag",
+                    row["completed"] - len(journal.journaled_indices),
+                )
+        for row in self.health.snapshot():
+            worker = row["worker"]
+            registry.gauge(
+                f"worker.{worker}.points_completed", row["points_completed"]
+            )
+            if row["points_per_sec"] is not None:
+                registry.gauge(
+                    f"worker.{worker}.points_per_sec_ewma", row["points_per_sec"]
+                )
+        return {"type": "metrics_report", "telemetry": registry.snapshot()}
+
     def _handle_fetch(self, frame: Mapping[str, object]) -> dict:
         sweep = frame.get("sweep")
         if not isinstance(sweep, str):
@@ -569,7 +624,7 @@ class FleetDaemon:
     # ------------------------------------------------------------------
 
     def _log(self, message: str) -> None:
-        print(f"[fleet] {message}", flush=True)
+        _LOGGER.info(message)
 
 
 def run_daemon(config: FleetConfig) -> int:

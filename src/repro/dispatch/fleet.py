@@ -142,6 +142,10 @@ class FleetQueue:
         self._leases: dict[int, FleetLease] = {}
         self._next_lease_id = 0
         self._next_submit_ord = 0
+        #: Lifetime count of leases whose unfinished work was re-queued
+        #: (worker death, disconnect, or expiry) — the "lease churn" gauge
+        #: the daemon's ``metrics`` verb reports.
+        self.leases_requeued = 0
 
     # ------------------------------------------------------------------
     # Submissions
@@ -408,6 +412,7 @@ class FleetQueue:
                 # sweep's tail is not parked behind fresh indices.
                 entry.pending.extendleft(reversed(remaining))
                 requeued += 1
+                self.leases_requeued += 1
         return requeued
 
     def _reap_finished_leases(self) -> None:

@@ -42,6 +42,7 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import logging
 import os
 import re
 import time
@@ -50,6 +51,8 @@ from typing import Mapping
 
 from repro.errors import ConfigurationError, JournalError
 from repro.experiments.sweep import SweepSpec, spec_artifact
+
+_LOGGER = logging.getLogger("repro.dispatch.journal")
 
 __all__ = [
     "ARCHIVE_DIRNAME",
@@ -333,10 +336,14 @@ class SweepJournal:
                 )
             replayed.results[index] = dict(result)
         if truncated_tail:
-            replayed.warnings.append(
+            # Kept on the replay record for the daemon's status report, and
+            # logged so an operator replaying by hand sees it immediately.
+            message = (
                 f"{path}: final line is a truncated fragment "
                 f"({len(tail)} bytes) — skipped; its point will be recomputed"
             )
+            replayed.warnings.append(message)
+            _LOGGER.warning("%s", message)
         return replayed
 
     # ------------------------------------------------------------------

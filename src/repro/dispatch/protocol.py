@@ -54,6 +54,10 @@ submitted       daemon → sub ``sweep``, ``created``, ``state``, ``total``,
 status          sub → daemon optional ``sweep`` filter
 status_report   daemon → sub ``sweeps``: rows, ``workers``: rows,
                              ``daemon``: info
+metrics         sub → daemon —
+metrics_report  daemon → sub ``telemetry``: a ``repro.telemetry/1``
+                             snapshot (daemon counters, per-sweep
+                             throughput/journal-lag gauges, worker EWMAs)
 cancel          sub → daemon ``sweep``
 cancelled       daemon → sub ``sweep``, ``existed``
 fetch           sub → daemon ``sweep``

@@ -261,7 +261,13 @@ def run_worker(
                     return stats
                 point = SweepPoint.from_dict(entry["point"])
                 result = _execute_point(
-                    (point.config, point.workload, point.read_workload, point.scenario)
+                    (
+                        point.config,
+                        point.workload,
+                        point.read_workload,
+                        point.scenario,
+                        point.trace,
+                    )
                 )
                 result_frame = {
                     "type": "result",

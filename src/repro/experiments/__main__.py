@@ -25,6 +25,10 @@ machine-readable artifact::
     python -m repro.experiments bench --json BENCH.json --baseline BENCH_5.json
     python -m repro.experiments fig3 --duration 5 --profile fig3.prof
 
+    # observability: deterministic traces and live fleet metrics
+    python -m repro.experiments fig3 --trace fig3.jsonl --chrome-trace fig3.trace.json
+    python -m repro.experiments fleet status --connect daemon-host:7650 --metrics
+
 Experiment ids: fig3, fig4, fig5, fig6, fig7ab, fig7c, fig7d, fig8,
 theorem1, sensitivity, scenario, protocol-race — plus three
 non-experiment commands:
@@ -56,6 +60,7 @@ same bytes out, see :mod:`repro.dispatch`.
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
 import time
@@ -96,6 +101,31 @@ def _hostport_type(text: str) -> tuple[str, int]:
         return parse_hostport(text)
     except ConfigurationError as exc:
         raise argparse.ArgumentTypeError(str(exc))
+
+
+_LOG_LEVELS = ("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL")
+
+
+def _log_level_arg(text: str) -> str:
+    level = text.upper()
+    if level not in _LOG_LEVELS:
+        raise argparse.ArgumentTypeError(
+            f"expected one of {', '.join(_LOG_LEVELS)}, got {text!r}"
+        )
+    return level
+
+
+def _configure_logging(level: str) -> None:
+    """Root handler for the ``repro.dispatch.*`` diagnostic loggers.
+
+    The daemon's lifecycle notes, the journal's truncated-tail warnings and
+    the worker's per-sweep progress all flow through stdlib ``logging`` so
+    operators can silence or redirect them; experiment tables and artifacts
+    stay on plain stdout regardless of level.
+    """
+    logging.basicConfig(
+        level=getattr(logging, level), format="[%(name)s] %(message)s"
+    )
 
 
 def _jobs_arg(text: str) -> int:
@@ -369,6 +399,20 @@ def _run_bench_command(args, parser: argparse.ArgumentParser) -> int:
             "metric": "txns/wall-sec",
             "value": round(results["scenario"]["transactions_per_wall_sec"], 1),
         },
+        {
+            "probe": "telemetry off",
+            "metric": "events/sec",
+            "value": round(
+                results["telemetry_overhead"]["untraced_events_per_sec"], 1
+            ),
+        },
+        {
+            "probe": "telemetry on (all categories)",
+            "metric": "events/sec",
+            "value": round(
+                results["telemetry_overhead"]["traced_events_per_sec"], 1
+            ),
+        },
     ]
     print_table(rows, title=f"Bench suite (scale={args.bench_scale:g})")
     if args.json_path:
@@ -452,6 +496,7 @@ def _run_worker_command(args, parser: argparse.ArgumentParser) -> int:
     mismatch or failed auth challenge) — refusals are real failures however
     many sweeps came before.
     """
+    logger = logging.getLogger("repro.dispatch.worker")
     host, port = args.connect
     faults = args.fault
     runs = 0
@@ -467,26 +512,31 @@ def _run_worker_command(args, parser: argparse.ArgumentParser) -> int:
             )
         except CoordinatorUnreachable as exc:
             if runs:
-                print(f"[worker idle, served {runs} sweep(s); exiting]")
+                logger.info("worker idle, served %d sweep(s); exiting", runs)
                 return 0
-            print(f"worker: {exc}", file=sys.stderr)
+            logger.error("%s", exc)
             return 1
         except DispatchError as exc:
             # Reachable but refused (handshake/version/auth failure):
             # always loud.
-            print(f"worker: {exc}", file=sys.stderr)
+            logger.error("%s", exc)
             return 1
         runs += 1
-        print(
-            f"[sweep {runs}: {stats.points_executed} points in "
-            f"{stats.chunks_received} chunk(s), {stats.duplicate_results} "
-            f"duplicate(s), {stats.heartbeats} heartbeat(s)"
-            + (", disconnected]" if stats.disconnected else "]")
+        logger.info(
+            "sweep %d: %d points in %d chunk(s), %d duplicate(s), "
+            "%d heartbeat(s)%s",
+            runs,
+            stats.points_executed,
+            stats.chunks_received,
+            stats.duplicate_results,
+            stats.heartbeats,
+            ", disconnected" if stats.disconnected else "",
         )
         if stats.idled_out:
-            print(
-                f"[worker idle past {args.max_idle:g}s "
-                f"({stats.sweeps_served} fleet sweep(s) served); exiting]"
+            logger.info(
+                "worker idle past %gs (%d fleet sweep(s) served); exiting",
+                args.max_idle,
+                stats.sweeps_served,
             )
             return 0
 
@@ -518,10 +568,24 @@ def _run_fleet_command(argv: list[str]) -> int:
         "repro.dispatch.daemon) and its submitter verbs.  Shared secret: "
         "the REPRO_FLEET_SECRET environment variable (unset = open daemon).",
     )
+    # Shared by every verb so the flag reads naturally after the verb
+    # (``fleet serve --log-level DEBUG``), the way the other per-verb
+    # options do.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--log-level",
+        type=_log_level_arg,
+        metavar="LEVEL",
+        default="INFO",
+        help="threshold for the repro.dispatch.* diagnostic loggers "
+        "(DEBUG/INFO/WARNING/ERROR/CRITICAL; default: INFO)",
+    )
     verbs = parser.add_subparsers(dest="verb", required=True)
 
     serve = verbs.add_parser(
-        "serve", help="run the daemon in the foreground (SIGINT/SIGTERM exit)"
+        "serve",
+        parents=[common],
+        help="run the daemon in the foreground (SIGINT/SIGTERM exit)",
     )
     serve.add_argument(
         "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
@@ -582,7 +646,9 @@ def _run_fleet_command(argv: list[str]) -> int:
             "operation (default: 30)",
         )
 
-    submit = verbs.add_parser("submit", help="submit a sweep-spec JSON file")
+    submit = verbs.add_parser(
+        "submit", parents=[common], help="submit a sweep-spec JSON file"
+    )
     _client_args(submit)
     submit.add_argument(
         "spec_path",
@@ -625,10 +691,19 @@ def _run_fleet_command(argv: list[str]) -> int:
     )
 
     status = verbs.add_parser(
-        "status", help="print sweep, worker and daemon status tables"
+        "status",
+        parents=[common],
+        help="print sweep, worker and daemon status tables",
     )
     _client_args(status, required=False)
     status.add_argument("--sweep", default=None, help="only this sweep's row")
+    status.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the daemon's live repro.telemetry/1 snapshot instead of "
+        "the status tables: per-sweep throughput and journal lag, worker "
+        "EWMA rates, lease churn (live daemons only)",
+    )
     status.add_argument(
         "--journal-dir",
         metavar="DIR",
@@ -639,12 +714,13 @@ def _run_fleet_command(argv: list[str]) -> int:
     )
 
     cancel = verbs.add_parser(
-        "cancel", help="cancel a sweep and tear up its leases"
+        "cancel", parents=[common], help="cancel a sweep and tear up its leases"
     )
     _client_args(cancel)
     cancel.add_argument("sweep", help="the sweep name to cancel")
 
     args = parser.parse_args(argv)
+    _configure_logging(args.log_level)
 
     if args.verb == "serve":
         try:
@@ -671,6 +747,11 @@ def _run_fleet_command(argv: list[str]) -> int:
     if args.verb == "status" and args.journal_dir is not None:
         if args.connect is not None:
             parser.error("--journal-dir and --connect are mutually exclusive")
+        if args.metrics:
+            parser.error(
+                "--metrics needs a live daemon (--connect); journals record "
+                "results, not rates"
+            )
         from repro.dispatch.journal import journal_index
         from repro.errors import JournalError
 
@@ -761,6 +842,24 @@ def _run_fleet_command(argv: list[str]) -> int:
             connect_timeout=args.connect_timeout,
         )
         if args.verb == "status":
+            if args.metrics:
+                from repro.telemetry import validate_telemetry
+
+                if args.sweep is not None:
+                    parser.error("--metrics reports the whole daemon; drop --sweep")
+                section = client.metrics().get("telemetry")
+                validate_telemetry(section)
+                rows = [
+                    {"metric": name, "kind": "counter", "value": value}
+                    for name, value in section["counters"].items()
+                ] + [
+                    {"metric": name, "kind": "gauge", "value": value}
+                    for name, value in section["gauges"].items()
+                ]
+                print_table(
+                    rows, title=f"Daemon metrics ({section['schema']})"
+                )
+                return 0
             report = client.status(args.sweep)
             print_table(report.get("sweeps", []), title="Fleet sweeps")
             print()
@@ -875,6 +974,35 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="run under cProfile and dump the stats file here",
     )
+    telemetry_group = parser.add_argument_group(
+        "telemetry (see repro.telemetry)"
+    )
+    telemetry_group.add_argument(
+        "--trace",
+        dest="trace_path",
+        metavar="PATH",
+        default=None,
+        help="trace every sweep point (kernel dispatch, cache, channel, "
+        "SGT, protocol decisions) and write the records as JSONL here; "
+        "byte-identical across --jobs/--dispatch/--fleet modulo the "
+        "wall-clock header line",
+    )
+    telemetry_group.add_argument(
+        "--chrome-trace",
+        dest="chrome_trace_path",
+        metavar="PATH",
+        default=None,
+        help="with --trace: also write the records in Chrome trace_event "
+        "JSON for chrome://tracing / Perfetto",
+    )
+    telemetry_group.add_argument(
+        "--log-level",
+        type=_log_level_arg,
+        metavar="LEVEL",
+        default="INFO",
+        help="threshold for the repro.dispatch.* diagnostic loggers "
+        "(DEBUG/INFO/WARNING/ERROR/CRITICAL; default: INFO)",
+    )
     bench_group = parser.add_argument_group("performance suite (see repro.bench)")
     bench_group.add_argument(
         "--bench-scale",
@@ -976,6 +1104,13 @@ def main(argv: list[str] | None = None) -> int:
         "daemon never says done (default: wait forever)",
     )
     args = parser.parse_args(argv)
+    _configure_logging(args.log_level)
+    if args.chrome_trace_path is not None and args.trace_path is None:
+        parser.error("--chrome-trace requires --trace (it converts the JSONL)")
+    if args.experiment in ("worker", "bench") and args.trace_path is not None:
+        # Workers trace when the point they pull says so; the bench suite
+        # measures tracing itself (telemetry_overhead) on its own terms.
+        parser.error(f"--trace does not apply to the {args.experiment} command")
     if args.experiment != "bench":
         # Bench-only flags fail loudly on every other command, including
         # worker — a silently dropped flag looks like a reduced-scale run.
@@ -1054,15 +1189,21 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--spec only applies to the scenario experiment")
         if not os.path.isfile(args.spec_path):
             parser.error(f"--spec: no such file: {args.spec_path}")
-    if args.json_path:
+    for flag, path in (
+        ("--json", args.json_path),
+        ("--trace", args.trace_path),
+        ("--chrome-trace", args.chrome_trace_path),
+    ):
+        if not path:
+            continue
         # Fail before the sweeps run, not after minutes of simulation.
-        if os.path.isdir(args.json_path):
-            parser.error(f"--json: path is a directory: {args.json_path}")
-        directory = os.path.dirname(os.path.abspath(args.json_path))
+        if os.path.isdir(path):
+            parser.error(f"{flag}: path is a directory: {path}")
+        directory = os.path.dirname(os.path.abspath(path))
         if not os.path.isdir(directory):
-            parser.error(f"--json: directory does not exist: {directory}")
+            parser.error(f"{flag}: directory does not exist: {directory}")
         if not os.access(directory, os.W_OK):
-            parser.error(f"--json: directory is not writable: {directory}")
+            parser.error(f"{flag}: directory is not writable: {directory}")
 
     selected = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if isinstance(dispatch, FleetSpec):
@@ -1112,7 +1253,32 @@ def main(argv: list[str] | None = None) -> int:
                 )
             )
 
-    _with_profile(args.profile_path, _run_selected)
+    if args.trace_path is not None:
+        from repro import telemetry
+
+        telemetry.enable()
+        try:
+            _with_profile(args.profile_path, _run_selected)
+            traced = telemetry.drain_recorded_sweeps()
+        finally:
+            telemetry.disable()
+        telemetry.write_trace_jsonl(args.trace_path, traced)
+        lines = sum(len(result.results) for result in traced) + len(traced)
+        print(
+            f"[trace: {len(traced)} sweep(s) -> {args.trace_path} "
+            f"(records from {lines - len(traced)} point(s))]"
+        )
+        if args.chrome_trace_path is not None:
+            telemetry.write_chrome_trace(
+                args.chrome_trace_path,
+                telemetry.trace_jsonl_lines(traced),
+            )
+            print(
+                f"[chrome trace -> {args.chrome_trace_path}; open in "
+                f"chrome://tracing or https://ui.perfetto.dev]"
+            )
+    else:
+        _with_profile(args.profile_path, _run_selected)
 
     if args.json_path:
         write_json(

@@ -303,6 +303,19 @@ def validate_artifact(payload: Mapping[str, object]) -> None:
     ranks = [row["rank"] for row in payload["ranking"]]
     if ranks != list(range(1, len(ranks) + 1)):
         _fail(f"ranking must be 1..{len(ranks)} in order, got {ranks}")
+    if "telemetry" in payload:
+        # Present only on traced runs: one repro.telemetry/1 section per
+        # race point, keyed by its point label.
+        from repro.telemetry import validate_telemetry
+
+        sections = payload["telemetry"]
+        if not isinstance(sections, Mapping):
+            _fail("'telemetry' must be a mapping of point label -> section")
+        for label, section in sections.items():
+            try:
+                validate_telemetry(section)
+            except ConfigurationError as exc:
+                _fail(f"telemetry[{label!r}]: {exc}")
 
 
 def run(
@@ -322,5 +335,14 @@ def run(
     rows = race_rows([(point.params, result) for point, result in sweep.pairs()])
     ranking = ranking_rows(rows)
     payload = artifact(rows, ranking, duration=duration, seed=seed)
+    telemetry_sections = {
+        point.label: result.telemetry
+        for point, result in sweep.pairs()
+        if result.telemetry is not None
+    }
+    if telemetry_sections:
+        # Traced runs only: normalized_artifact strips this key, so a
+        # traced race still normalizes to its untraced twin.
+        payload["telemetry"] = telemetry_sections
     validate_artifact(payload)
     return rows, ranking, payload

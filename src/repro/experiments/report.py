@@ -18,6 +18,7 @@ __all__ = [
     "format_percent",
     "format_table",
     "json_safe",
+    "normalized_artifact",
     "print_table",
     "write_json",
 ]
@@ -110,6 +111,47 @@ def experiment_payload(
             for section in sections
         ],
     }
+
+
+#: Keys stripped by :func:`normalized_artifact` at any nesting depth: the
+#: run-environment metadata that legitimately differs between two executions
+#: of the same seeded spec.  ``telemetry``/``trace`` are included so a traced
+#: artifact normalizes to exactly its untraced twin.
+_ENVIRONMENT_KEYS = frozenset(
+    {"jobs", "wall_clock_seconds", "telemetry", "trace"}
+)
+
+
+def _strip_environment(value: object) -> object:
+    if isinstance(value, Mapping):
+        return {
+            key: _strip_environment(item)
+            for key, item in value.items()
+            if key not in _ENVIRONMENT_KEYS
+        }
+    if isinstance(value, (list, tuple)):
+        return [_strip_environment(item) for item in value]
+    return value
+
+
+def normalized_artifact(artifact: object) -> str:
+    """Canonical JSON of an artifact minus its run-environment fields.
+
+    The single definition of "byte-identical modulo wall clock": two runs of
+    the same seeded spec — serial, ``jobs=N``, dispatched, fleet, traced or
+    untraced — must normalize to the same string.  Accepts a payload dict
+    (or any JSON value) or an object with ``to_artifact()``; strips ``jobs``,
+    ``wall_clock_seconds`` and the telemetry fields at every nesting depth,
+    then serialises with sorted keys and fixed separators.
+    """
+    to_artifact = getattr(artifact, "to_artifact", None)
+    if callable(to_artifact):
+        artifact = to_artifact()
+    return json.dumps(
+        json_safe(_strip_environment(artifact)),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
 
 
 def json_safe(value: object) -> object:

@@ -29,9 +29,9 @@ spec's root seed.  Sweeps that compare columns on the *same* randomness
 (e.g. the strategy bars of Figs. 6 and 8) intentionally share one seed
 across their points instead; the spec builder decides.
 
-Only the ``(config, workload, read_workload, scenario)`` tuple travels to
-worker processes, so row-building callables in the figure modules may freely
-be closures.  Workloads are stateless with respect to the per-column RNG
+Only the ``(config, workload, read_workload, scenario, trace)`` tuple
+travels to worker processes, so row-building callables in the figure modules
+may freely be closures.  Workloads are stateless with respect to the per-column RNG
 streams (the clients pass their own generators in), which is what makes the
 fan-out safe.
 """
@@ -41,8 +41,10 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import TYPE_CHECKING, Iterator, Mapping
+
+from repro import telemetry
 
 from repro.cache.kinds import CacheKind
 from repro.core.strategies import Strategy
@@ -108,6 +110,12 @@ class SweepPoint:
     scenario: ScenarioSpec | None = None
     #: Sweep coordinates (e.g. ``{"alpha": 0.5}``) echoed into rows/artifacts.
     params: dict[str, object] = field(default_factory=dict)
+    #: Capture telemetry while executing this point. Part of the point's
+    #: wire payload, so dispatch workers and fleet daemons trace without
+    #: sharing this process's telemetry state; emitted into ``as_dict`` only
+    #: when set, keeping untraced payloads (and fleet fingerprints)
+    #: byte-identical to previous releases.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.scenario is not None:
@@ -151,6 +159,8 @@ class SweepPoint:
             "label": self.label,
             "params": json_safe(dict(self.params)),
         }
+        if self.trace:
+            column["trace"] = True
         if self.scenario is not None:
             column["scenario"] = self.scenario.as_dict()
             return column
@@ -178,12 +188,14 @@ class SweepPoint:
         if not label:
             raise ConfigurationError(f"sweep point payload has no label: {payload!r}")
         params = dict(payload.get("params") or {})
+        trace = bool(payload.get("trace", False))
         scenario = payload.get("scenario")
         if scenario is not None:
             return cls(
                 label=label,
                 scenario=ScenarioSpec.from_dict(scenario),
                 params=params,
+                trace=trace,
             )
         config = payload.get("config")
         if config is None:
@@ -212,6 +224,7 @@ class SweepPoint:
                 None if read_spec is None else workload_from_dict(read_spec)
             ),
             params=params,
+            trace=trace,
         )
 
 
@@ -296,6 +309,8 @@ class SweepResult:
             else:
                 column["series"] = result.series
                 column["counts"] = asdict(result.counts)
+                if result.telemetry is not None:
+                    column["telemetry"] = result.telemetry
         return payload
 
 
@@ -342,13 +357,28 @@ def config_from_dict(payload: Mapping[str, object]) -> ColumnConfig:
 
 def _execute_point(
     payload: tuple[
-        ColumnConfig | None, Workload | None, Workload | None, ScenarioSpec | None
+        ColumnConfig | None,
+        Workload | None,
+        Workload | None,
+        ScenarioSpec | None,
+        bool,
     ]
 ) -> ColumnResult | ScenarioResult:
-    config, workload, read_workload, scenario = payload
-    if scenario is not None:
-        return run_scenario(scenario)
-    return run_column(config, workload, read_workload=read_workload)
+    config, workload, read_workload, scenario, trace = payload
+    if not trace:
+        if scenario is not None:
+            return run_scenario(scenario)
+        return run_column(config, workload, read_workload=read_workload)
+    # The point label is re-attached at export time from the spec, so the
+    # tracer itself doesn't need one (the execution payload stays lean).
+    with telemetry.capture("") as tracer:
+        if scenario is not None:
+            result = run_scenario(scenario)
+        else:
+            result = run_column(config, workload, read_workload=read_workload)
+    result.telemetry = tracer.snapshot()
+    result.trace = tracer.record_dicts()
+    return result
 
 
 def _execute_indexed(
@@ -414,16 +444,33 @@ def run_sweep(
     long-lived fleet daemon and waits; every executor returns identical
     results for the same spec.
     """
+    if telemetry.enabled() and not all(point.trace for point in spec.points):
+        # Stamp the trace flag onto the points *before* any executor sees
+        # the spec: the flag is part of the wire payload (dispatch workers
+        # trace in their own processes) and of the fleet fingerprint (a
+        # traced submission must not attach to an untraced journal's
+        # results, which would come back without telemetry).
+        spec = SweepSpec(
+            name=spec.name,
+            points=[replace(point, trace=True) for point in spec.points],
+            root_seed=spec.root_seed,
+            description=spec.description,
+        )
+    traced = any(point.trace for point in spec.points)
     if dispatch is not None:
         from repro.dispatch.client import FleetSpec, run_fleet_sweep
         from repro.dispatch.coordinator import run_dispatched
 
         if isinstance(dispatch, FleetSpec):
-            return run_fleet_sweep(spec, dispatch)
-        return run_dispatched(spec, dispatch)
+            result = run_fleet_sweep(spec, dispatch)
+        else:
+            result = run_dispatched(spec, dispatch)
+        if traced:
+            telemetry.record_sweep(result)
+        return result
     jobs = resolve_jobs(jobs)
     payloads = [
-        (point.config, point.workload, point.read_workload, point.scenario)
+        (point.config, point.workload, point.read_workload, point.scenario, point.trace)
         for point in spec.points
     ]
     workers = min(jobs, len(payloads))
@@ -441,6 +488,9 @@ def run_sweep(
                 results_by_index[index] = result
         results = ordered_results(len(payloads), results_by_index)
     elapsed = time.perf_counter() - start
-    return SweepResult(
+    result = SweepResult(
         spec=spec, results=results, jobs=jobs, wall_clock_seconds=elapsed
     )
+    if traced:
+        telemetry.record_sweep(result)
+    return result

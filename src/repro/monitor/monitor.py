@@ -145,6 +145,9 @@ class ConsistencyMonitor:
         """Add one committed update transaction to ``backend``'s history."""
         self.tester_for(backend).record_update(txn)
         self.summary.update_commits += 1
+        tracer = self._sim._tracer
+        if tracer is not None and tracer.wants("sgt"):
+            tracer.metrics.count("sgt.update_commits")
 
     def record_read_only(
         self,
@@ -175,6 +178,21 @@ class ConsistencyMonitor:
             label = ABORTED_UNNECESSARY if consistent else ABORTED_NECESSARY
         self.summary.read_only.add(label)
         self.series.record(record.finish_time, label)
+        tracer = self._sim._tracer
+        if tracer is not None and tracer.wants("sgt"):
+            tracer.emit(
+                record.finish_time,
+                "sgt",
+                "check",
+                {
+                    "txn": record.txn_id,
+                    "label": label,
+                    "source": source,
+                    "backend": backend,
+                    "reads": len(record.reads),
+                },
+            )
+            tracer.metrics.count(f"sgt.{label}")
         if source is not None:
             self._record_tagged(
                 self.source_summaries, self.source_series, source, record, label

@@ -101,6 +101,21 @@ class CausalCache(CacheServer):
         retried = False
         if entry.version < required:
             self.causal_rejections += 1
+            tracer = self._sim._tracer
+            if tracer is not None and tracer.wants("protocol"):
+                tracer.emit(
+                    self._sim.now,
+                    "protocol",
+                    "floor_refuse",
+                    {
+                        "cache": self.name,
+                        "session": session,
+                        "key": key,
+                        "cached_version": entry.version,
+                        "floor": required,
+                    },
+                )
+                tracer.metrics.count("protocol.floor_refusals")
             entry = self._read_through(key)
             retried = True
         if entry.version < required:  # self-check; must be unreachable

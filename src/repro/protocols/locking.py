@@ -143,6 +143,15 @@ class LockCoherentCache(CacheServer):
 
     def _abort_with(self, txn_id: TxnId, reason: str) -> None:
         self.wound_aborts += 1
+        tracer = self._sim._tracer
+        if tracer is not None and tracer.wants("protocol"):
+            tracer.emit(
+                self._sim.now,
+                "protocol",
+                "wound_abort",
+                {"cache": self.name, "txn": txn_id, "reason": reason},
+            )
+            tracer.metrics.count("protocol.wound_aborts")
         self._finish(txn_id, TransactionOutcome.ABORTED)
         raise TransactionAborted(txn_id, reason)
 

@@ -129,6 +129,21 @@ class VerifiedReadCache(CacheServer):
             # Stale or missing proof: refetch the authoritative version and
             # have the backend sign it (one round trip covers both).
             self.proof_refreshes += 1
+            tracer = self._sim._tracer
+            if tracer is not None and tracer.wants("protocol"):
+                tracer.emit(
+                    now,
+                    "protocol",
+                    "proof_refresh",
+                    {
+                        "cache": self.name,
+                        "key": key,
+                        "reason": "missing"
+                        if proof is None
+                        else ("version" if proof[0] != entry.version else "expired"),
+                    },
+                )
+                tracer.metrics.count("protocol.proof_refreshes")
             self.stats.retries += 1
             entry = self._backend.read_entry(key)
             self.storage.put(entry, now)
@@ -138,6 +153,15 @@ class VerifiedReadCache(CacheServer):
         self.signatures_verified += 1
         if not self._service.verify(key, version, signed_at, mac):
             self.signature_failures += 1
+            tracer = self._sim._tracer
+            if tracer is not None and tracer.wants("protocol"):
+                tracer.emit(
+                    now,
+                    "protocol",
+                    "proof_verify_fail",
+                    {"cache": self.name, "key": key, "version": version},
+                )
+                tracer.metrics.count("protocol.proof_verify_failures")
         return entry, retried
 
     # ------------------------------------------------------------------

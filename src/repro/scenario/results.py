@@ -55,6 +55,12 @@ class ColumnResult:
     detections_eq1: int = 0
     detections_eq2: int = 0
     retries_resolved: int = 0
+    #: ``repro.telemetry/1`` metrics snapshot, set only for traced points.
+    telemetry: dict | None = None
+    #: Raw trace records of a traced point (sim-time keyed). Exported as
+    #: JSONL by the CLI; never embedded in artifacts, which keeps traced and
+    #: untraced artifacts byte-identical modulo the telemetry section.
+    trace: list | None = None
 
     # ------------------------------------------------------------------
     # Figure metrics
@@ -220,6 +226,10 @@ class ScenarioResult:
     db_stats: DatabaseStats
     #: One :class:`BackendAggregates` per backend, in spec order.
     backends: list[BackendAggregates] = field(default_factory=list)
+    #: ``repro.telemetry/1`` metrics snapshot, set only for traced runs.
+    telemetry: dict | None = None
+    #: Raw trace records of a traced run (see :class:`ColumnResult.trace`).
+    trace: list | None = None
 
     def pairs(self) -> Iterator[tuple[EdgeSpec, ColumnResult]]:
         """``(edge spec, edge result)`` pairs in spec order."""
@@ -270,4 +280,6 @@ class ScenarioResult:
         ]
         payload["fleet"] = self.fleet.as_dict()
         payload["db_stats"] = asdict(self.db_stats)
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry
         return payload

@@ -130,6 +130,19 @@ class Channel:
         loss = self._current_loss()
         if loss >= 1.0 or (loss > 0.0 and self._rng.random() < loss):
             self.stats.dropped += 1
+            tracer = self._sim._tracer
+            if tracer is not None and tracer.wants("channel"):
+                now = self._sim.now
+                in_outage = any(start <= now < end for start, end in self._outages)
+                tracer.emit(
+                    now,
+                    "channel",
+                    "drop",
+                    {"channel": self.name, "seq": sequence, "outage": in_outage},
+                )
+                tracer.metrics.count(
+                    "channel.outage_drops" if in_outage else "channel.drops"
+                )
             return False
         delay = self._latency(self._rng) if callable(self._latency) else self._latency
         if delay < 0:
@@ -141,8 +154,24 @@ class Channel:
         message, sequence, delay = packed
         self.stats.delivered += 1
         self.stats.total_latency += delay
-        if sequence < self.stats._last_delivered_seq:
+        reordered = sequence < self.stats._last_delivered_seq
+        if reordered:
             self.stats.reordered += 1
         else:
             self.stats._last_delivered_seq = sequence
+        tracer = self._sim._tracer
+        if tracer is not None and tracer.wants("channel"):
+            tracer.emit(
+                self._sim.now,
+                "channel",
+                "deliver",
+                {
+                    "channel": self.name,
+                    "seq": sequence,
+                    "latency_ms": delay * 1000.0,
+                    "reordered": reordered,
+                },
+            )
+            tracer.metrics.count("channel.delivered")
+            tracer.metrics.observe("channel.latency_ms", delay * 1000.0)
         self._receiver(message)

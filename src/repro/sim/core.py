@@ -35,6 +35,7 @@ from collections import deque
 from typing import Any, Callable
 
 from repro.errors import SimulationError
+from repro.telemetry import active_tracer as _active_tracer
 
 __all__ = ["Simulator", "Event", "Timeout", "AnyOf", "AllOf"]
 
@@ -259,6 +260,11 @@ class Simulator:
         self._running = False
         #: Callbacks executed so far, for throughput (events/sec) reporting.
         self.events_executed = 0
+        #: The thread's active telemetry tracer, captured once at
+        #: construction. ``None`` on every untraced run, so instrumentation
+        #: sites across the stack pay one attribute load plus an ``is None``
+        #: test — the zero-cost-when-off contract.
+        self._tracer = _active_tracer()
 
     def schedule(
         self,
@@ -311,6 +317,12 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
+        tracer = self._tracer
+        if tracer is not None and tracer.wants("sim"):
+            # Checked once per run() call, never per event: the traced loop
+            # is a full duplicate so the untraced path stays branch-free.
+            self._run_traced(until, tracer)
+            return
         executed = 0
         immediate = self._immediate
         queue = self._queue
@@ -354,6 +366,66 @@ class Simulator:
             self.events_executed += executed
             self._running = False
 
+    def _run_traced(self, until: float | None, tracer) -> None:
+        """``run()``'s loop with a per-dispatch trace record.
+
+        A deliberate duplicate (this module already duplicates its zero-delay
+        branch for speed): callers only reach it through ``run()``, which has
+        set ``_running``. Callback names come from ``__qualname__`` — never
+        ``repr``, whose memory addresses would break cross-process trace
+        determinism.
+        """
+        executed = 0
+        immediate = self._immediate
+        queue = self._queue
+        no_arg = _NO_ARG
+        emit = tracer.emit
+        try:
+            if until is not None and self.now > until:
+                return
+            while True:
+                if immediate:
+                    if (
+                        queue
+                        and queue[0][0] <= self.now
+                        and queue[0][1] < immediate[0][0]
+                    ):
+                        entry = heapq.heappop(queue)
+                        self.now = entry[0]
+                        callback, arg = entry[2], entry[3]
+                    else:
+                        _, callback, arg = immediate.popleft()
+                elif queue:
+                    time = queue[0][0]
+                    if until is not None and time > until:
+                        break
+                    entry = heapq.heappop(queue)
+                    self.now = time
+                    callback, arg = entry[2], entry[3]
+                else:
+                    break
+                executed += 1
+                emit(
+                    self.now,
+                    "sim",
+                    "dispatch",
+                    {
+                        "callback": getattr(
+                            callback, "__qualname__", type(callback).__name__
+                        )
+                    },
+                )
+                if arg is no_arg:
+                    callback()
+                else:
+                    callback(arg)
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self.events_executed += executed
+            tracer.metrics.count("sim.events_dispatched", executed)
+            self._running = False
+
     def step(self) -> bool:
         """Execute a single event; returns False when nothing is pending."""
         immediate = self._immediate
@@ -374,6 +446,15 @@ class Simulator:
         else:
             return False
         self.events_executed += 1
+        tracer = self._tracer
+        if tracer is not None and tracer.wants("sim"):
+            tracer.emit(
+                self.now,
+                "sim",
+                "dispatch",
+                {"callback": getattr(callback, "__qualname__", type(callback).__name__)},
+            )
+            tracer.metrics.count("sim.events_dispatched")
         if arg is _NO_ARG:
             callback()
         else:

@@ -55,7 +55,13 @@ class Process(Event):
         self._generator = generator
         self._alive = True
         #: The bound method handed to every awaited event, allocated once.
-        self._resume_callback = self._resume
+        #: The traced variant is selected here, once per process, so the
+        #: untraced resume chain carries no telemetry branch at all.
+        tracer = sim._tracer
+        if tracer is not None and tracer.wants("sim"):
+            self._resume_callback = self._resume_traced
+        else:
+            self._resume_callback = self._resume
         # First resumption happens as a scheduled event so that process
         # start order matches creation order at the current instant.
         sequence = sim._sequence
@@ -81,6 +87,24 @@ class Process(Event):
         failure._ok = False
         failure._value = ProcessKilled("killed")
         self._resume(failure)
+
+    def _resume_traced(self, event: Event | None = None) -> None:
+        """Telemetry wrapper around :meth:`_resume` (installed per process).
+
+        Named by the generator function's ``__name__`` — stable across
+        processes, unlike any id-bearing repr.
+        """
+        sim = self.sim
+        tracer = sim._tracer
+        if tracer is not None:
+            tracer.emit(
+                sim.now,
+                "sim",
+                "process_resume",
+                {"process": self._generator.__name__},
+            )
+            tracer.metrics.count("sim.process_resumes")
+        self._resume(event)
 
     def _resume(self, event: Event | None = None) -> None:
         """Advance the generator with the outcome of ``event``.

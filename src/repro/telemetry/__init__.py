@@ -1,0 +1,145 @@
+"""Deterministic observability spine: tracing, metrics, profiling hooks.
+
+The telemetry layer threads one :class:`Tracer` through every layer of a
+simulated run — kernel event dispatch, process resumption, cache
+serve/refetch/evict, channel delivery and outage drops, backend reads, SGT
+verdicts, and per-protocol decisions (wound aborts, causal floor refusals,
+proof verification) — and aggregates the same instrumentation points into a
+:class:`MetricsRegistry` of counters, gauges and exponential-bucket latency
+histograms.
+
+Two properties shape the whole design:
+
+* **Determinism.** Every trace record is keyed by *sim time*, never wall
+  clock; callbacks are named by ``__qualname__``, never ``repr`` (memory
+  addresses differ across processes). Wall-clock stamps are isolated in a
+  single JSONL header line per sweep, so the body of a trace is
+  byte-identical across reruns, ``jobs=N`` fork pools, dispatch
+  coordinators and the fleet daemon — the same contract the artifacts
+  already honour, and tested the same way
+  (:func:`repro.experiments.report.normalized_artifact`).
+
+* **Zero cost when off.** Tracing is opt-in per sweep point. The kernel
+  caches the active tracer once per :class:`~repro.sim.core.Simulator`
+  (``sim._tracer is None`` on the untraced path) and every other
+  instrumentation site guards on that same attribute, so the disabled
+  overhead is one attribute load plus an ``is None`` test per *call site*,
+  not per record. ``bench/suite.py``'s ``telemetry_overhead`` section
+  measures the traced and untraced kernels against each other and keeps the
+  disabled cost inside the budget.
+
+Enablement travels in two layers. The CLI's ``--trace`` flag flips the
+module-level flag via :func:`enable`; :func:`repro.experiments.sweep.run_sweep`
+reads it and stamps ``trace=True`` onto every :class:`SweepPoint` it
+executes — that flag rides the wire to dispatch workers and fleet daemons,
+so remote executors trace without sharing our process. At execution time
+:func:`capture` installs a thread-local tracer that
+:class:`~repro.sim.core.Simulator` picks up at construction (thread-local,
+not global, because the fleet integration tests run daemon, workers and
+submitters as threads of one process).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+from repro.telemetry.metrics import MetricsRegistry, TELEMETRY_SCHEMA, validate_telemetry
+from repro.telemetry.tracer import Tracer
+from repro.telemetry.export import (
+    TRACE_SCHEMA,
+    chrome_trace,
+    normalized_trace_lines,
+    trace_jsonl_lines,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "TELEMETRY_SCHEMA",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "active_tracer",
+    "capture",
+    "chrome_trace",
+    "disable",
+    "drain_recorded_sweeps",
+    "enable",
+    "enabled",
+    "normalized_trace_lines",
+    "record_sweep",
+    "trace_jsonl_lines",
+    "validate_telemetry",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+]
+
+#: Module-level switch, set by the CLI's ``--trace`` flag. Read exactly once
+#: per sweep (by ``run_sweep``), never on a hot path.
+_ENABLED = False
+
+_STATE = threading.local()
+
+#: Traced SweepResults recorded by ``run_sweep`` for the CLI exporter, in
+#: completion order. Guarded by ``_RECORDED_LOCK`` because fleet tests drive
+#: sweeps from worker threads.
+_RECORDED: list = []
+_RECORDED_LOCK = threading.Lock()
+
+
+def enable() -> None:
+    """Turn tracing on for subsequently started sweeps."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn tracing off and drop any captured-but-unexported sweeps."""
+    global _ENABLED
+    _ENABLED = False
+    with _RECORDED_LOCK:
+        _RECORDED.clear()
+
+
+def enabled() -> bool:
+    return _ENABLED
+
+
+def active_tracer() -> Tracer | None:
+    """The tracer capturing the current thread's simulation, if any."""
+    return getattr(_STATE, "tracer", None)
+
+
+@contextlib.contextmanager
+def capture(point_label: str, *, categories=None):
+    """Install a fresh thread-local :class:`Tracer` for one sweep point.
+
+    Yields the tracer; simulators constructed inside the block adopt it.
+    """
+    tracer = Tracer(point=point_label, categories=categories)
+    previous = getattr(_STATE, "tracer", None)
+    _STATE.tracer = tracer
+    try:
+        yield tracer
+    finally:
+        _STATE.tracer = previous
+
+
+def record_sweep(result) -> None:
+    """Hand a traced :class:`SweepResult` to the CLI exporter.
+
+    ``run_sweep`` calls this for every traced sweep because experiment
+    ``run()`` wrappers discard the SweepResult and return row views — the
+    exporter would otherwise never see the trace records.
+    """
+    with _RECORDED_LOCK:
+        _RECORDED.append(result)
+
+
+def drain_recorded_sweeps() -> list:
+    """Return and clear the traced sweeps recorded since the last drain."""
+    with _RECORDED_LOCK:
+        drained = list(_RECORDED)
+        _RECORDED.clear()
+    return drained

@@ -1,0 +1,156 @@
+"""Trace export: deterministic JSONL plus a Chrome ``trace_event`` converter.
+
+The JSONL layout isolates wall clock in exactly one place:
+
+* line 1 — a header ``{"kind": "header", "schema": "repro.trace/1",
+  "sweep": ..., "wall_clock_seconds": ...}``: the *only* line containing
+  nondeterministic data;
+* every following line — ``{"kind": "record", "point": <label>, "t":
+  <sim time>, "cat": ..., "name": ..., "fields": {...}}``, emitted in
+  spec-point order and, within a point, in emission order.
+
+Because record lines carry sim time only, two traces of the same seeded
+sweep compare byte-identical once the header's wall-clock field is dropped —
+:func:`normalized_trace_lines` applies the same
+:func:`repro.experiments.report.normalized_artifact` canonicalization the
+artifact tests use, line by line.
+
+The Chrome converter maps records onto the ``trace_event`` JSON format
+(load the file in about://tracing or https://ui.perfetto.dev): one virtual
+thread per sweep point, instants (``ph: "i"``) for point events, with sim
+seconds scaled to trace microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "chrome_trace",
+    "normalized_trace_lines",
+    "sweep_trace_lines",
+    "trace_jsonl_lines",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+]
+
+TRACE_SCHEMA = "repro.trace/1"
+
+_CANONICAL = {"separators": (",", ":"), "sort_keys": True}
+
+
+def sweep_trace_lines(result) -> list[str]:
+    """JSONL lines (no trailing newlines) for one traced SweepResult."""
+    header = {
+        "kind": "header",
+        "schema": TRACE_SCHEMA,
+        "sweep": result.spec.name,
+        "wall_clock_seconds": result.wall_clock_seconds,
+    }
+    lines = [json.dumps(header, **_CANONICAL)]
+    for point, point_result in zip(result.spec.points, result.results):
+        trace = getattr(point_result, "trace", None)
+        if not trace:
+            continue
+        label = point.label
+        for record in trace:
+            line: dict[str, Any] = {"kind": "record", "point": label}
+            line.update(record)
+            lines.append(json.dumps(line, **_CANONICAL))
+    return lines
+
+
+def trace_jsonl_lines(results: Iterable) -> list[str]:
+    """JSONL lines for a sequence of traced SweepResults, in order."""
+    lines: list[str] = []
+    for result in results:
+        lines.extend(sweep_trace_lines(result))
+    return lines
+
+
+def write_trace_jsonl(path, results: Iterable) -> int:
+    """Write traced sweeps as JSONL; returns the number of lines written."""
+    lines = trace_jsonl_lines(results)
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line)
+            handle.write("\n")
+    return len(lines)
+
+
+def normalized_trace_lines(lines: Iterable[str]) -> list[str]:
+    """Canonicalize trace JSONL for comparison across runs/jobs/fleet.
+
+    Parses each line and strips the nondeterministic fields through the
+    same helper the artifact byte-identity tests use, so "identical modulo
+    wall clock" means exactly the same thing for traces and artifacts.
+    """
+    from repro.experiments.report import normalized_artifact
+
+    return [normalized_artifact(json.loads(line)) for line in lines if line.strip()]
+
+
+def chrome_trace(lines: Iterable[str]) -> dict:
+    """Convert trace JSONL lines into a Chrome ``trace_event`` document.
+
+    Each sweep point becomes a virtual thread (named via ``M`` metadata
+    events); records become instant events with ``ts`` in microseconds.
+    """
+    events: list[dict[str, Any]] = []
+    thread_ids: dict[str, int] = {}
+    for line in lines:
+        if not line.strip():
+            continue
+        payload = json.loads(line)
+        kind = payload.get("kind")
+        if kind == "header":
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": 0,
+                    "args": {"name": payload.get("sweep", "sweep")},
+                }
+            )
+            continue
+        if kind != "record":
+            continue
+        point = payload.get("point", "")
+        tid = thread_ids.get(point)
+        if tid is None:
+            tid = thread_ids[point] = len(thread_ids) + 1
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": point},
+                }
+            )
+        event: dict[str, Any] = {
+            "name": payload["name"],
+            "cat": payload["cat"],
+            "ph": "i",
+            "s": "t",
+            "ts": round(payload["t"] * 1e6, 3),
+            "pid": 1,
+            "tid": tid,
+        }
+        fields = payload.get("fields")
+        if fields:
+            event["args"] = fields
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, lines: Iterable[str]) -> int:
+    """Write the Chrome trace document; returns the event count."""
+    document = chrome_trace(lines)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True, separators=(",", ":"))
+        handle.write("\n")
+    return len(document["traceEvents"])

@@ -9,7 +9,6 @@ produces a ``SweepResult.to_artifact()`` byte-identical to
 
 from __future__ import annotations
 
-import json
 import os
 import signal
 import socket
@@ -25,6 +24,7 @@ from repro.dispatch import Coordinator, DispatchSpec, FaultPlan, run_worker
 from repro.dispatch.protocol import PROTOCOL_VERSION, recv_frame, send_frame
 from repro.errors import ConfigurationError, DispatchError
 from repro.experiments.config import ColumnConfig
+from repro.experiments.report import normalized_artifact
 from repro.experiments.sweep import SweepPoint, SweepSpec, derive_seed, run_sweep
 from repro.scenario.library import heterogeneous_loss_fleet, region_failure_drill
 from repro.workloads.synthetic import PerfectClusterWorkload
@@ -63,11 +63,8 @@ def small_spec(n_columns: int = 4, *, scenario: bool = True) -> SweepSpec:
 
 
 def comparable_artifact(result) -> str:
-    payload = result.to_artifact()
     # The executor's identity is allowed to differ; the results are not.
-    payload.pop("jobs")
-    payload.pop("wall_clock_seconds")
-    return json.dumps(payload)
+    return normalized_artifact(result)
 
 
 def serve_with_worker_threads(

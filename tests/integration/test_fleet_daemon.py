@@ -14,7 +14,6 @@ Two load-bearing properties, mirroring the one-shot dispatch suite:
 
 from __future__ import annotations
 
-import json
 import os
 import signal
 import subprocess
@@ -31,6 +30,7 @@ from repro.dispatch.journal import SweepJournal, journal_path
 from repro.dispatch.worker import run_worker
 from repro.errors import DispatchError
 from repro.experiments.config import ColumnConfig
+from repro.experiments.report import normalized_artifact
 from repro.experiments.sweep import SweepPoint, SweepSpec, derive_seed, run_sweep
 from repro.workloads.synthetic import PerfectClusterWorkload
 
@@ -59,11 +59,8 @@ def small_spec(
 
 
 def comparable_artifact(result) -> str:
-    payload = result.to_artifact()
     # The executor's identity is allowed to differ; the results are not.
-    payload.pop("jobs")
-    payload.pop("wall_clock_seconds")
-    return json.dumps(payload)
+    return normalized_artifact(result)
 
 
 def start_worker_thread(host, port, *, name, max_idle=3.0) -> threading.Thread:

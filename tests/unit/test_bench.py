@@ -30,6 +30,7 @@ class TestSuitePayload:
             "sgt_checks",
             "deplist_merge",
             "scenario",
+            "telemetry_overhead",
         }
 
     def test_column_probe_measures_events(self, payload: dict) -> None:
@@ -45,6 +46,14 @@ class TestSuitePayload:
         for entry in by_size:
             assert entry["checks_per_sec"] > 0
             assert entry["records_per_sec"] > 0
+
+    def test_telemetry_overhead_probe(self, payload: dict) -> None:
+        probe = payload["results"]["telemetry_overhead"]
+        assert probe["events_match"], "tracing changed the simulated work"
+        assert probe["trace_records"] > 0
+        assert probe["untraced_events_per_sec"] > 0
+        assert probe["traced_events_per_sec"] > 0
+        assert probe["overhead_ratio"] > 0
 
     def test_payload_is_json_serialisable(self, payload: dict) -> None:
         json.dumps(payload)

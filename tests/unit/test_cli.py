@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import logging
 
 import pytest
 
@@ -81,22 +82,23 @@ class TestCli:
             main(["worker", "--connect", "localhost:1", "--fault", value])
         assert excinfo.value.code == 2
 
-    def test_worker_with_no_coordinator_exits_nonzero(self, capsys) -> None:
+    def test_worker_with_no_coordinator_exits_nonzero(self, caplog) -> None:
         # Port 1 is never listening; the worker must give up after the
         # connect timeout and report failure (it served nothing).
-        assert (
-            main(
-                [
-                    "worker",
-                    "--connect",
-                    "127.0.0.1:1",
-                    "--connect-timeout",
-                    "0.2",
-                ]
+        with caplog.at_level(logging.ERROR, logger="repro.dispatch.worker"):
+            assert (
+                main(
+                    [
+                        "worker",
+                        "--connect",
+                        "127.0.0.1:1",
+                        "--connect-timeout",
+                        "0.2",
+                    ]
+                )
+                == 1
             )
-            == 1
-        )
-        assert "worker:" in capsys.readouterr().err
+        assert "could not reach coordinator" in caplog.text
 
     def test_json_artifact_written_and_loadable(self, tmp_path, capsys) -> None:
         path = tmp_path / "fig7ab.json"
